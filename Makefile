@@ -1,0 +1,22 @@
+.PHONY: all build test bench examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe -- all --scale default --repeats 3
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/smith_waterman.exe
+	dune exec examples/pipeline_search.exe
+	dune exec examples/race_debugging.exe
+	dune exec examples/video_pipeline.exe
+
+clean:
+	dune clean

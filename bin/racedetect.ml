@@ -1,0 +1,339 @@
+(* racedetect — run a benchmark or a random synthetic program under a
+   chosen detector and executor, and report determinacy races.
+
+     racedetect list
+     racedetect run --workload mm --detector sf-order [--scale small]
+                    [--executor serial|parallel] [--workers N]
+                    [--inject-race] [--no-verify] [--check-discipline]
+     racedetect synth --seed 42 [--ops 200] [--depth 5] [--locs 16]
+                      [--detector sf-order] [--oracle]
+     racedetect record --workload sort -o sort.trace
+     racedetect analyze sort.trace                                        *)
+
+module Workload = Sfr_workloads.Workload
+module Registry = Sfr_workloads.Registry
+module Synthetic = Sfr_workloads.Synthetic
+module Detector = Sfr_detect.Detector
+module Race = Sfr_detect.Race
+module Sf_order = Sfr_detect.Sf_order
+module F_order = Sfr_detect.F_order
+module Multibags = Sfr_detect.Multibags
+module Naive_detector = Sfr_detect.Naive_detector
+module Serial_exec = Sfr_runtime.Serial_exec
+module Par_exec = Sfr_runtime.Par_exec
+module Trace = Sfr_runtime.Trace
+module Discipline = Sfr_detect.Discipline
+module Events = Sfr_runtime.Events
+module Mem_meter = Sfr_support.Mem_meter
+module Stats = Sfr_support.Stats
+
+open Cmdliner
+
+let detector_of = function
+  | "sf-order" -> Ok (fun () -> Sf_order.make ())
+  | "sf-order-2pf" -> Ok (fun () -> Sf_order.make ~readers:`Two_per_future ())
+  | "f-order" -> Ok (fun () -> F_order.make ())
+  | "multibags" -> Ok (fun () -> Multibags.make ())
+  | s -> Error (`Msg (Printf.sprintf "unknown detector %S" s))
+
+let detector_conv =
+  Arg.conv
+    ( (fun s -> detector_of s),
+      fun ppf _ -> Format.pp_print_string ppf "<detector>" )
+
+let scale_conv =
+  Arg.conv
+    ( (fun s ->
+        match Workload.scale_of_string s with
+        | Some sc -> Ok sc
+        | None -> Error (`Msg (Printf.sprintf "unknown scale %S" s))),
+      fun ppf s -> Workload.pp_scale ppf s )
+
+let print_detector_report det dt =
+  Printf.printf "executed in %.3f s\n" dt;
+  Printf.printf "reachability queries: %d\n" (det.Detector.queries ());
+  Printf.printf "reachability memory (live): %s\n"
+    (Format.asprintf "%a" Mem_meter.pp_bytes (det.Detector.reach_words ()));
+  Printf.printf "access-history memory:      %s\n"
+    (Format.asprintf "%a" Mem_meter.pp_bytes (det.Detector.history_words ()));
+  let reports = Race.reports det.Detector.races in
+  if reports = [] then print_endline "no determinacy races detected."
+  else begin
+    Printf.printf "RACES DETECTED at %d location(s):\n" (List.length reports);
+    List.iter
+      (fun (r : Race.report) ->
+        Printf.printf "  loc %d: %s between future %d and future %d (%d occurrence(s))\n"
+          r.Race.loc
+          (Format.asprintf "%a" Race.pp_kind r.Race.kind)
+          r.Race.prev_future r.Race.cur_future r.Race.count)
+      reports
+  end
+
+(* -- list ------------------------------------------------------------- *)
+
+let list_cmd =
+  let doc = "List the available benchmarks." in
+  let run () =
+    List.iter
+      (fun (w : Workload.t) ->
+        Printf.printf "%-8s %s\n" w.Workload.name w.Workload.description)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* -- run --------------------------------------------------------------- *)
+
+let run_cmd =
+  let doc = "Run a benchmark under a race detector." in
+  let workload =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Benchmark name (see list).")
+  in
+  let detector =
+    Arg.(
+      value
+      & opt detector_conv (fun () -> Sf_order.make ())
+      & info [ "d"; "detector" ]
+          ~doc:"Detector: sf-order, sf-order-2pf, f-order, or multibags.")
+  in
+  let scale =
+    Arg.(
+      value
+      & opt scale_conv Workload.Small
+      & info [ "s"; "scale" ] ~doc:"Scale: tiny, small, default, large, paper.")
+  in
+  let executor =
+    Arg.(
+      value
+      & opt (enum [ ("serial", `Serial); ("parallel", `Parallel) ]) `Serial
+      & info [ "e"; "executor" ] ~doc:"Executor: serial or parallel.")
+  in
+  let workers =
+    Arg.(value & opt int 2 & info [ "j"; "workers" ] ~doc:"Parallel workers.")
+  in
+  let inject =
+    Arg.(value & flag & info [ "inject-race" ] ~doc:"Plant a determinacy race.")
+  in
+  let no_verify =
+    Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip output verification.")
+  in
+  let check_discipline =
+    Arg.(
+      value & flag
+      & info [ "check-discipline" ]
+          ~doc:"Also verify the structured-futures discipline on the fly.")
+  in
+  let run workload make_det scale executor workers inject no_verify
+      check_discipline =
+    match Registry.find workload with
+    | None ->
+        Printf.eprintf "unknown workload %S (try: racedetect list)\n" workload;
+        exit 2
+    | Some w ->
+        let inst = w.Workload.instantiate ~inject_race:inject scale in
+        let det = make_det () in
+        if executor = `Parallel && not det.Detector.supports_parallel then begin
+          Printf.eprintf
+            "%s is a sequential detector and cannot run under the parallel \
+             executor\n"
+            det.Detector.name;
+          exit 2
+        end;
+        Printf.printf "%s @ %s under %s (%s)\n" w.Workload.name
+          (Format.asprintf "%a" Workload.pp_scale scale)
+          det.Detector.name
+          (match executor with
+          | `Serial -> "serial execution"
+          | `Parallel -> Printf.sprintf "parallel execution, %d workers" workers);
+        let disc = if check_discipline then Some (Discipline.make ()) else None in
+        let callbacks, root =
+          match disc with
+          | None -> (det.Detector.callbacks, det.Detector.root)
+          | Some d ->
+              ( Events.pair d.Discipline.callbacks det.Detector.callbacks,
+                Events.Pair_state (d.Discipline.root, det.Detector.root) )
+        in
+        let (), dt =
+          Stats.time (fun () ->
+              match executor with
+              | `Serial ->
+                  Serial_exec.run callbacks ~root inst.Workload.program |> fst
+              | `Parallel ->
+                  Par_exec.run ~workers callbacks ~root inst.Workload.program
+                  |> fst)
+        in
+        print_detector_report det dt;
+        (match disc with
+        | Some d -> (
+            match d.Discipline.violations () with
+            | [] -> print_endline "structured-futures discipline verified."
+            | vs ->
+                List.iter
+                  (fun v ->
+                    Printf.printf "DISCIPLINE VIOLATION: %s\n" v.Discipline.message)
+                  vs)
+        | None -> ());
+        if (not no_verify) && not inject then
+          if inst.Workload.verify () then print_endline "output verified."
+          else begin
+            print_endline "OUTPUT VERIFICATION FAILED";
+            exit 1
+          end;
+        if inject && Race.reports det.Detector.races = [] then begin
+          print_endline "expected the injected race to be detected!";
+          exit 1
+        end
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ workload $ detector $ scale $ executor $ workers $ inject
+      $ no_verify $ check_discipline)
+
+(* -- record / analyze --------------------------------------------------- *)
+
+let record_cmd =
+  let doc = "Run a benchmark traced and save its dag + access log to a file." in
+  let workload =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Benchmark name (see list).")
+  in
+  let scale =
+    Arg.(
+      value
+      & opt scale_conv Workload.Small
+      & info [ "s"; "scale" ] ~doc:"Scale: tiny, small, default, large, paper.")
+  in
+  let inject =
+    Arg.(value & flag & info [ "inject-race" ] ~doc:"Plant a determinacy race.")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output trace file.")
+  in
+  let run workload scale inject out =
+    match Registry.find workload with
+    | None ->
+        Printf.eprintf "unknown workload %S\n" workload;
+        exit 2
+    | Some w ->
+        let inst = w.Workload.instantiate ~inject_race:inject scale in
+        let trace, cb, root = Trace.make ~log_accesses:true () in
+        let (), _ = Serial_exec.run cb ~root inst.Workload.program in
+        let accesses =
+          List.rev_map
+            (fun (a : Trace.access) ->
+              {
+                Sfr_dag.Dag_io.node = a.Trace.node;
+                loc = a.Trace.loc;
+                is_write = a.Trace.is_write;
+              })
+            (Trace.accesses trace)
+        in
+        Sfr_dag.Dag_io.save_file out ~accesses (Trace.dag trace);
+        Printf.printf "recorded %d nodes, %d futures, %d accesses to %s\n"
+          (Sfr_dag.Dag.n_nodes (Trace.dag trace))
+          (Sfr_dag.Dag.n_futures (Trace.dag trace))
+          (List.length accesses) out
+  in
+  Cmd.v (Cmd.info "record" ~doc) Term.(const run $ workload $ scale $ inject $ out)
+
+let analyze_cmd =
+  let doc = "Offline analysis of a recorded trace: races, work/span, speedups." in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Trace file.")
+  in
+  let run file =
+    let dag, accesses = Sfr_dag.Dag_io.load_file file in
+    let module Dag = Sfr_dag.Dag in
+    let module Dag_algo = Sfr_dag.Dag_algo in
+    let module Dag_check = Sfr_dag.Dag_check in
+    Printf.printf "dag: %d nodes, %d futures\n" (Dag.n_nodes dag) (Dag.n_futures dag);
+    (match Dag_check.validate_sf dag with
+    | [] -> print_endline "structure: well-formed SF-dag"
+    | vs ->
+        Printf.printf "structure: %d violation(s)\n" (List.length vs);
+        List.iter (fun v -> Printf.printf "  %s\n" v.Dag_check.message) vs);
+    let work = Dag_algo.work dag and span = Dag_algo.span dag Dag_algo.Full in
+    Printf.printf "work %d, span %d, parallelism %.2f\n" work span
+      (float_of_int work /. float_of_int (max 1 span));
+    List.iter
+      (fun p ->
+        Printf.printf "  simulated speedup on %2d workers: %.2fx\n" p
+          (Sfr_runtime.Sim_sched.speedup dag ~workers:p))
+      [ 2; 4; 8; 16 ];
+    let log =
+      List.map
+        (fun (a : Sfr_dag.Dag_io.access) ->
+          { Trace.node = a.Sfr_dag.Dag_io.node; loc = a.loc; is_write = a.is_write })
+        accesses
+    in
+    let v = Naive_detector.analyze dag log in
+    Printf.printf "accesses: %d; racy locations: %d (%d racing pairs)\n"
+      (List.length accesses)
+      (List.length v.Naive_detector.racy_locations)
+      v.Naive_detector.races_found
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ file)
+
+(* -- synth ------------------------------------------------------------- *)
+
+let synth_cmd =
+  let doc = "Race detect a random structured-futures program." in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.") in
+  let ops = Arg.(value & opt int 200 & info [ "ops" ] ~doc:"Operation budget.") in
+  let depth = Arg.(value & opt int 5 & info [ "depth" ] ~doc:"Nesting depth.") in
+  let locs =
+    Arg.(value & opt int 16 & info [ "locs" ] ~doc:"Shared locations.")
+  in
+  let detector =
+    Arg.(
+      value
+      & opt detector_conv (fun () -> Sf_order.make ())
+      & info [ "d"; "detector" ] ~doc:"Detector to run.")
+  in
+  let oracle =
+    Arg.(
+      value & flag
+      & info [ "oracle" ]
+          ~doc:"Also run the exhaustive ground-truth analysis and compare.")
+  in
+  let run seed ops depth locs make_det oracle =
+    let t = Synthetic.generate ~seed ~ops ~depth ~locs () in
+    let n_ops, futures, gets = Synthetic.stats t in
+    Printf.printf "synthetic program: %d ops, %d futures, %d gets\n" n_ops futures gets;
+    let inst = Synthetic.instantiate t in
+    let det = make_det () in
+    let (), dt =
+      Stats.time (fun () ->
+          Serial_exec.run det.Detector.callbacks ~root:det.Detector.root
+            inst.Synthetic.program
+          |> fst)
+    in
+    print_detector_report det dt;
+    if oracle then begin
+      let inst2 = Synthetic.instantiate t in
+      let trace, cb, root = Trace.make ~log_accesses:true () in
+      let (), _ = Serial_exec.run cb ~root inst2.Synthetic.program in
+      let v = Naive_detector.analyze (Trace.dag trace) (Trace.accesses trace) in
+      let norm base locs = List.map (fun l -> l - base) locs in
+      let expected = norm inst2.Synthetic.mem_base v.Naive_detector.racy_locations in
+      let got = norm inst.Synthetic.mem_base (Detector.racy_locations det) in
+      Printf.printf "oracle: %d racy location(s); detector %s the oracle\n"
+        (List.length expected)
+        (if expected = got then "MATCHES" else "DISAGREES WITH");
+      if expected <> got then exit 1
+    end
+  in
+  Cmd.v (Cmd.info "synth" ~doc)
+    Term.(const run $ seed $ ops $ depth $ locs $ detector $ oracle)
+
+let () =
+  let doc = "on-the-fly determinacy race detection for structured futures" in
+  let info = Cmd.info "racedetect" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; synth_cmd; record_cmd; analyze_cmd ]))

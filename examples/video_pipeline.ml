@@ -1,0 +1,67 @@
+(* A video-filter chain on the pipeline skeleton: frames stream through
+   decode -> blur -> sharpen -> encode stages (Cilk-P style), expressed
+   entirely with structured futures via Sfr_runtime.Pipeline. Race
+   detection runs during parallel execution; a buggy filter variant that
+   writes outside its frame is caught.
+
+     dune exec examples/video_pipeline.exe                                 *)
+
+module P = Sfr_runtime.Program
+module Pipeline = Sfr_runtime.Pipeline
+module Par_exec = Sfr_runtime.Par_exec
+module Detector = Sfr_detect.Detector
+module Race = Sfr_detect.Race
+module Sf_order = Sfr_detect.Sf_order
+
+let frames = 8
+let width = 64
+
+(* stage s reads its input plane for the frame and writes its output
+   plane; planes.(s) holds stage s's output for every frame *)
+let make_pipeline ~buggy () =
+  let stages = 4 in
+  let planes = Array.init (stages + 1) (fun _ -> P.alloc (frames * width) 0) in
+  (* "decoded" source data *)
+  for i = 0 to (frames * width) - 1 do
+    P.wr_raw planes.(0) i ((i * 31) mod 256)
+  done;
+  let filter ~iter:frame ~stage =
+    let src = planes.(stage) and dst = planes.(stage + 1) in
+    let base = frame * width in
+    for x = 0 to width - 1 do
+      let a = P.rd src (base + x) in
+      let b = P.rd src (base + ((x + 1) mod width)) in
+      P.wr dst (base + x) ((a + b + stage) / 2)
+    done;
+    if buggy && stage = 2 && frame = 3 then
+      (* scribbles on an earlier stage's plane for the next frame — that
+         cell belongs to pipeline cell (frame+1, 0), which is parallel
+         with us (it is below-left in the wavefront) *)
+      P.wr planes.(1) ((frame + 1) * width) 0
+  in
+  (planes, fun () -> Pipeline.run ~iterations:frames ~stages filter)
+
+let detect ~buggy ~workers =
+  let _planes, prog = make_pipeline ~buggy () in
+  let det = Sf_order.make () in
+  let (), _ = Par_exec.run ~workers det.Detector.callbacks ~root:det.Detector.root prog in
+  Race.reports det.Detector.races
+
+let () =
+  Printf.printf "video pipeline: %d frames x 4 stages, parallel execution\n" frames;
+  List.iter
+    (fun workers ->
+      let races = detect ~buggy:false ~workers in
+      Printf.printf "  clean filters, %d worker(s): %d race(s)\n" workers
+        (List.length races))
+    [ 1; 2; 4 ];
+  let races = detect ~buggy:true ~workers:2 in
+  Printf.printf "  buggy sharpen stage: %d racy location(s), e.g. %s\n"
+    (List.length races)
+    (match races with
+    | r :: _ ->
+        Format.asprintf "loc %d (%a, future %d vs %d)" r.Race.loc Race.pp_kind
+          r.Race.kind r.Race.prev_future r.Race.cur_future
+    | [] -> "none?!");
+  assert (races <> []);
+  print_endline "the pipeline skeleton keeps stage order; the detector catches the bug."

@@ -1,0 +1,177 @@
+module Vec = Sfr_support.Vec
+
+type kind = Root | Spawned | Created | Cont | Sync | Get
+
+type edge_kind = Sp | Create_edge | Get_edge
+
+type node = int
+type future = int
+
+type node_rec = {
+  future : future;
+  kind : kind;
+  mutable cost : int;
+  mutable succs : (edge_kind * node) list;
+  mutable preds : (edge_kind * node) list;
+}
+
+type future_rec = {
+  parent : future option;
+  first_node : node;
+  create_node : node option;
+  create_cont : node option ref;
+  (* the continuation strand after the create; filled right after the
+     child-first node is allocated *)
+  mutable last_node : node option;
+  mutable get_node : node option;
+}
+
+type t = {
+  nodes : node_rec Vec.t;
+  futures : future_rec Vec.t;
+  mutable fakes : (future * node) list;
+  lock : Mutex.t;
+}
+
+let dummy_node = { future = -1; kind = Root; cost = 0; succs = []; preds = [] }
+
+let dummy_future =
+  {
+    parent = None;
+    first_node = -1;
+    create_node = None;
+    create_cont = ref None;
+    last_node = None;
+    get_node = None;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let add_node t ~future ~kind =
+  Vec.push t.nodes { future; kind; cost = 0; succs = []; preds = [] }
+
+let add_edge t ek u v =
+  let nu = Vec.get t.nodes u and nv = Vec.get t.nodes v in
+  nu.succs <- (ek, v) :: nu.succs;
+  nv.preds <- (ek, u) :: nv.preds
+
+let create () =
+  let t =
+    {
+      nodes = Vec.create ~dummy:dummy_node ();
+      futures = Vec.create ~dummy:dummy_future ();
+      fakes = [];
+      lock = Mutex.create ();
+    }
+  in
+  let root = add_node t ~future:0 ~kind:Root in
+  let (_ : int) =
+    Vec.push t.futures
+      {
+        parent = None;
+        first_node = root;
+        create_node = None;
+        create_cont = ref None;
+        last_node = None;
+        get_node = None;
+      }
+  in
+  (t, root)
+
+let spawn t ~cur =
+  locked t (fun () ->
+      let fid = (Vec.get t.nodes cur).future in
+      let child = add_node t ~future:fid ~kind:Spawned in
+      let cont = add_node t ~future:fid ~kind:Cont in
+      add_edge t Sp cur child;
+      add_edge t Sp cur cont;
+      (child, cont))
+
+let create_future t ~cur =
+  locked t (fun () ->
+      let parent_fid = (Vec.get t.nodes cur).future in
+      let fid = Vec.length t.futures in
+      let child = add_node t ~future:fid ~kind:Created in
+      let cont = add_node t ~future:parent_fid ~kind:Cont in
+      let (_ : int) =
+        Vec.push t.futures
+          {
+            parent = Some parent_fid;
+            first_node = child;
+            create_node = Some cur;
+            create_cont = ref (Some cont);
+            last_node = None;
+            get_node = None;
+          }
+      in
+      add_edge t Create_edge cur child;
+      add_edge t Sp cur cont;
+      (child, cont, fid))
+
+let sync t ~cur ~spawned_lasts ~created =
+  locked t (fun () ->
+      let fid = (Vec.get t.nodes cur).future in
+      let s = add_node t ~future:fid ~kind:Sync in
+      add_edge t Sp cur s;
+      List.iter (fun last -> add_edge t Sp last s) spawned_lasts;
+      List.iter (fun g -> t.fakes <- (g, s) :: t.fakes) created;
+      s)
+
+let put t ~cur =
+  locked t (fun () ->
+      let fid = (Vec.get t.nodes cur).future in
+      let f = Vec.get t.futures fid in
+      (match f.last_node with
+      | Some _ -> invalid_arg "Dag.put: future already has a put node"
+      | None -> ());
+      f.last_node <- Some cur)
+
+let get t ~cur ~future =
+  locked t (fun () ->
+      let f = Vec.get t.futures future in
+      (match f.get_node with
+      | Some _ -> invalid_arg "Dag.get: handle touched twice (single-touch violation)"
+      | None -> ());
+      let last =
+        match f.last_node with
+        | Some n -> n
+        | None -> invalid_arg "Dag.get: future has not completed (no put node)"
+      in
+      let fid = (Vec.get t.nodes cur).future in
+      let g = add_node t ~future:fid ~kind:Get in
+      add_edge t Sp cur g;
+      add_edge t Get_edge last g;
+      f.get_node <- Some g;
+      g)
+
+let add_cost t node n =
+  let r = Vec.get t.nodes node in
+  r.cost <- r.cost + n
+
+(* -- accessors --------------------------------------------------------- *)
+
+let n_nodes t = Vec.length t.nodes
+let n_futures t = Vec.length t.futures
+let kind_of t v = (Vec.get t.nodes v).kind
+let future_of t v = (Vec.get t.nodes v).future
+let cost_of t v = (Vec.get t.nodes v).cost
+let succs t v = (Vec.get t.nodes v).succs
+let preds t v = (Vec.get t.nodes v).preds
+let first_of t f = (Vec.get t.futures f).first_node
+let last_of t f = (Vec.get t.futures f).last_node
+let fparent t f = (Vec.get t.futures f).parent
+
+let f_ancestors t f =
+  let rec up acc f =
+    match fparent t f with None -> List.rev acc | Some p -> up (p :: acc) p
+  in
+  up [] f
+
+let create_node_of t f = (Vec.get t.futures f).create_node
+let create_cont_of t f = !((Vec.get t.futures f).create_cont)
+let get_node_of t f = (Vec.get t.futures f).get_node
+let fake_joins t = t.fakes
+
+let total_cost t = Vec.fold (fun acc n -> acc + n.cost) 0 t.nodes

@@ -1,0 +1,101 @@
+(** The computation-dag model for programs with fork-join and structured
+    future parallelism (paper Section 2).
+
+    A node is a {e strand}: a maximal instruction sequence with no parallel
+    control. Edges are SP edges (spawn / continuation / sync, within one
+    future dag), create edges (parent future to first node of child future)
+    and get edges (last node of a future to the strand that touches its
+    handle). A program using only [spawn]/[sync] plus {e structured} futures
+    generates an SF-dag: a set of SP dags (one per future) joined by
+    create/get edges.
+
+    The builder below is driven by executor events; node IDs are assigned in
+    event order, which is always a topological order of the dag (every edge
+    is added into the node it targets at that node's creation, and get edges
+    originate at an already-completed future's last node).
+
+    Thread safety: all builder mutations take the dag's internal mutex, so a
+    multicore executor can record a dag concurrently. *)
+
+type kind =
+  | Root  (** the very first strand of the computation *)
+  | Spawned  (** first strand of a spawned subroutine *)
+  | Created  (** first strand of a created future task *)
+  | Cont  (** continuation after a spawn or create *)
+  | Sync  (** strand following an (explicit or implicit) sync *)
+  | Get  (** strand following a get *)
+
+type edge_kind = Sp | Create_edge | Get_edge
+
+type t
+
+type node = int
+(** Node handle; dense IDs from 0. *)
+
+type future = int
+(** Future-dag handle; dense IDs from 0. The root computation is future 0. *)
+
+val create : unit -> t * node
+(** Fresh dag containing the root strand of future 0. *)
+
+(* -- builder (executor hooks) ----------------------------------------- *)
+
+val spawn : t -> cur:node -> node * node
+(** [spawn t ~cur] records that [cur]'s strand executed [spawn]; returns
+    [(child_first, continuation)], both in [cur]'s future. *)
+
+val create_future : t -> cur:node -> node * node * future
+(** [create_future t ~cur] records a [create]; returns
+    [(child_first, continuation, fid)] where [child_first] starts the fresh
+    future dag [fid]. *)
+
+val sync : t -> cur:node -> spawned_lasts:node list -> created:future list -> node
+(** [sync t ~cur ~spawned_lasts ~created] records an (explicit or
+    frame-end implicit) sync: the returned sync strand has SP in-edges from
+    [cur] and from the final strand of every spawned child being joined.
+    [created] lists the futures created in this sync block; they do {e not}
+    join in the real dag, but their last nodes acquire fake join edges to
+    this sync node in the pseudo-SP-dag (paper Section 3.1). *)
+
+val put : t -> cur:node -> unit
+(** Marks [cur] as the put node — [last(F)] of [cur]'s future. Must be
+    called exactly once per future, after its frame-end sync. *)
+
+val get : t -> cur:node -> future:future -> node
+(** [get t ~cur ~future] records a get on [future]'s handle: the returned
+    get strand has an SP in-edge from [cur] and a get in-edge from
+    [last(future)].
+    @raise Invalid_argument on a second touch (single-touch violation) or
+    if the future has no put node recorded yet. *)
+
+val add_cost : t -> node -> int -> unit
+(** Accumulate work units (instruction count proxy) into a strand. *)
+
+(* -- accessors --------------------------------------------------------- *)
+
+val n_nodes : t -> int
+val n_futures : t -> int
+val kind_of : t -> node -> kind
+val future_of : t -> node -> future
+val cost_of : t -> node -> int
+val succs : t -> node -> (edge_kind * node) list
+val preds : t -> node -> (edge_kind * node) list
+val first_of : t -> future -> node
+val last_of : t -> future -> node option
+val fparent : t -> future -> future option
+(** Future parent ([None] for the root future). *)
+
+val f_ancestors : t -> future -> future list
+(** Strict future ancestors, nearest first. *)
+
+val create_node_of : t -> future -> node option
+(** The strand that executed [create] for this future ([None] for root). *)
+
+val create_cont_of : t -> future -> node option
+val get_node_of : t -> future -> node option
+val fake_joins : t -> (future * node) list
+(** All [(G, s)] such that [last(G)] fake-joins at sync node [s] in the
+    pseudo-SP-dag. *)
+
+val total_cost : t -> int
+(** Sum of strand costs: the work [T1] in work units. *)

@@ -1,0 +1,208 @@
+module Bitset = Sfr_support.Bitset
+
+type view = Full | Psp
+
+(* Fake join edges (G, s) become last(G) -> s in the PSP view; index them
+   by source node on demand. *)
+let fake_succs_of t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (g, s) ->
+      match Dag.last_of t g with
+      | None -> () (* future never completed: dag recorded mid-flight *)
+      | Some last ->
+          let existing = try Hashtbl.find tbl last with Not_found -> [] in
+          Hashtbl.replace tbl last (s :: existing))
+    (Dag.fake_joins t);
+  tbl
+
+let fake_preds_of t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (g, s) ->
+      match Dag.last_of t g with
+      | None -> ()
+      | Some last ->
+          let existing = try Hashtbl.find tbl s with Not_found -> [] in
+          Hashtbl.replace tbl s (last :: existing))
+    (Dag.fake_joins t);
+  tbl
+
+let succs t view v =
+  match view with
+  | Full -> List.map snd (Dag.succs t v)
+  | Psp ->
+      let base =
+        List.filter_map
+          (fun (ek, w) ->
+            match ek with Dag.Get_edge -> None | Dag.Sp | Dag.Create_edge -> Some w)
+          (Dag.succs t v)
+      in
+      base @ (try Hashtbl.find (fake_succs_of t) v with Not_found -> [])
+
+let preds t view v =
+  match view with
+  | Full -> List.map snd (Dag.preds t v)
+  | Psp ->
+      let base =
+        List.filter_map
+          (fun (ek, w) ->
+            match ek with Dag.Get_edge -> None | Dag.Sp | Dag.Create_edge -> Some w)
+          (Dag.preds t v)
+      in
+      base @ (try Hashtbl.find (fake_preds_of t) v with Not_found -> [])
+
+(* Single-source BFS; uses a visited array sized to the dag. *)
+let reaches t view u v =
+  if u = v then true
+  else begin
+    let n = Dag.n_nodes t in
+    let visited = Array.make n false in
+    let fakes = match view with Psp -> Some (fake_succs_of t) | Full -> None in
+    let node_succs x =
+      match view with
+      | Full -> List.map snd (Dag.succs t x)
+      | Psp ->
+          let base =
+            List.filter_map
+              (fun (ek, w) ->
+                match ek with
+                | Dag.Get_edge -> None
+                | Dag.Sp | Dag.Create_edge -> Some w)
+              (Dag.succs t x)
+          in
+          let extra =
+            match fakes with
+            | Some tbl -> ( try Hashtbl.find tbl x with Not_found -> [])
+            | None -> []
+          in
+          base @ extra
+    in
+    let queue = Queue.create () in
+    Queue.push u queue;
+    visited.(u) <- true;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let x = Queue.pop queue in
+      List.iter
+        (fun y ->
+          if y = v then found := true
+          else if not visited.(y) then begin
+            visited.(y) <- true;
+            Queue.push y queue
+          end)
+        (node_succs x)
+    done;
+    !found
+  end
+
+type reach_oracle = { anc : Bitset.t array }
+
+(* Node IDs are topological by construction (see Dag doc), so a single
+   left-to-right pass computes ancestor closures. *)
+let build_oracle t view =
+  let n = Dag.n_nodes t in
+  let fake_preds = match view with Psp -> Some (fake_preds_of t) | Full -> None in
+  let anc = Array.init n (fun _ -> Bitset.create ()) in
+  for v = 0 to n - 1 do
+    let ps =
+      match view with
+      | Full -> List.map snd (Dag.preds t v)
+      | Psp ->
+          let base =
+            List.filter_map
+              (fun (ek, w) ->
+                match ek with
+                | Dag.Get_edge -> None
+                | Dag.Sp | Dag.Create_edge -> Some w)
+              (Dag.preds t v)
+          in
+          let extra =
+            match fake_preds with
+            | Some tbl -> ( try Hashtbl.find tbl v with Not_found -> [])
+            | None -> []
+          in
+          base @ extra
+    in
+    List.iter
+      (fun u ->
+        assert (u < v);
+        Bitset.union_into ~dst:anc.(v) anc.(u);
+        Bitset.add anc.(v) u)
+      ps
+  done;
+  { anc }
+
+let oracle_reaches o u v = u = v || Bitset.mem o.anc.(v) u
+let precedes o u v = u <> v && Bitset.mem o.anc.(v) u
+let logically_parallel o u v = u <> v && (not (precedes o u v)) && not (precedes o v u)
+
+let work t = Dag.total_cost t
+
+let span t view =
+  let n = Dag.n_nodes t in
+  let fake_preds = match view with Psp -> Some (fake_preds_of t) | Full -> None in
+  let depth = Array.make n 0 in
+  let best = ref 0 in
+  for v = 0 to n - 1 do
+    let ps =
+      match view with
+      | Full -> List.map snd (Dag.preds t v)
+      | Psp ->
+          let base =
+            List.filter_map
+              (fun (ek, w) ->
+                match ek with
+                | Dag.Get_edge -> None
+                | Dag.Sp | Dag.Create_edge -> Some w)
+              (Dag.preds t v)
+          in
+          let extra =
+            match fake_preds with
+            | Some tbl -> ( try Hashtbl.find tbl v with Not_found -> [])
+            | None -> []
+          in
+          base @ extra
+    in
+    let before = List.fold_left (fun acc u -> max acc depth.(u)) 0 ps in
+    depth.(v) <- before + Dag.cost_of t v;
+    if depth.(v) > !best then best := depth.(v)
+  done;
+  !best
+
+let topological_order t =
+  let n = Dag.n_nodes t in
+  let order = Array.init n Fun.id in
+  (if n < 10_000 then
+     Array.iter
+       (fun v ->
+         List.iter (fun (_, u) -> assert (u < v)) (Dag.preds t v))
+       order);
+  order
+
+type counts = {
+  nodes : int;
+  futures : int;
+  sp_edges : int;
+  create_edges : int;
+  get_edges : int;
+}
+
+let counts t =
+  let sp = ref 0 and cr = ref 0 and ge = ref 0 in
+  for v = 0 to Dag.n_nodes t - 1 do
+    List.iter
+      (fun (ek, _) ->
+        match ek with
+        | Dag.Sp -> incr sp
+        | Dag.Create_edge -> incr cr
+        | Dag.Get_edge -> incr ge)
+      (Dag.succs t v)
+  done;
+  {
+    nodes = Dag.n_nodes t;
+    futures = Dag.n_futures t;
+    sp_edges = !sp;
+    create_edges = !cr;
+    get_edges = !ge;
+  }

@@ -1,0 +1,53 @@
+(** Offline analyses over recorded computation dags: ground-truth
+    reachability (the oracle the on-the-fly detectors are differential-
+    tested against), work/span accounting, and the pseudo-SP-dag view.
+
+    The {e pseudo-SP-dag} [PSP(D)] (paper Section 3.1) is the
+    series-parallel approximation of an SF-dag [D]: create edges become
+    spawn edges, get edges are dropped, and the last node of every future
+    [G] acquires a fake join edge to the sync node of the creating frame's
+    sync block. *)
+
+type view = Full | Psp
+(** [Full] = the SF-dag [D] itself (all edges, including get edges).
+    [Psp] = [PSP(D)]: SP + create edges + fake joins, no get edges. *)
+
+val succs : Dag.t -> view -> Dag.node -> Dag.node list
+val preds : Dag.t -> view -> Dag.node -> Dag.node list
+
+val reaches : Dag.t -> view -> Dag.node -> Dag.node -> bool
+(** [reaches t view u v] — is there a directed path from [u] to [v]
+    (reflexive: [reaches t view u u = true])? Single BFS, O(E). *)
+
+type reach_oracle
+(** All-pairs ancestor sets, O(V²/w) space; build once, query in O(1). *)
+
+val build_oracle : Dag.t -> view -> reach_oracle
+val oracle_reaches : reach_oracle -> Dag.node -> Dag.node -> bool
+(** Reflexive, like [reaches]. *)
+
+val precedes : reach_oracle -> Dag.node -> Dag.node -> bool
+(** Strict: [u ≺ v], i.e. reaches and [u <> v]. *)
+
+val logically_parallel : reach_oracle -> Dag.node -> Dag.node -> bool
+(** Neither [u ⪯ v] nor [v ⪯ u]. *)
+
+val work : Dag.t -> int
+(** Total strand cost, [T1] in work units. *)
+
+val span : Dag.t -> view -> int
+(** Critical-path cost, [T∞] in work units, over the chosen view. *)
+
+val topological_order : Dag.t -> Dag.node array
+(** Node IDs are assigned in a topological order by construction; this
+    returns them and (in debug builds) asserts the invariant. *)
+
+type counts = {
+  nodes : int;
+  futures : int;
+  sp_edges : int;
+  create_edges : int;
+  get_edges : int;
+}
+
+val counts : Dag.t -> counts

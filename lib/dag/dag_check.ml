@@ -1,0 +1,89 @@
+type violation = { code : string; message : string }
+
+let v code fmt = Printf.ksprintf (fun message -> { code; message }) fmt
+
+let validate_sf t =
+  let out = ref [] in
+  let emit x = out := x :: !out in
+  let n = Dag.n_nodes t in
+  let nf = Dag.n_futures t in
+  (* every future completed, exactly one first node of the right kind *)
+  for f = 0 to nf - 1 do
+    (match Dag.last_of t f with
+    | None -> emit (v "no-put" "future %d has no put node" f)
+    | Some last ->
+        if Dag.future_of t last <> f then
+          emit (v "put-wrong-future" "future %d's put node belongs to future %d" f
+                  (Dag.future_of t last)));
+    let first = Dag.first_of t f in
+    if Dag.future_of t first <> f then
+      emit (v "first-wrong-future" "future %d's first node belongs elsewhere" f);
+    match Dag.kind_of t first with
+    | Dag.Root when f = 0 -> ()
+    | Dag.Created when f > 0 -> ()
+    | _ -> emit (v "first-kind" "future %d's first node has the wrong kind" f)
+  done;
+  (* Property 1/2 analogues and edge typing *)
+  for u = 0 to n - 1 do
+    List.iter
+      (fun (ek, w) ->
+        match ek with
+        | Dag.Sp ->
+            if Dag.future_of t u <> Dag.future_of t w then
+              emit (v "sp-cross-future" "SP edge %d->%d crosses futures" u w)
+        | Dag.Create_edge ->
+            let g = Dag.future_of t w in
+            if Dag.kind_of t w <> Dag.Created then
+              emit (v "create-target" "create edge %d->%d targets a non-first node" u w);
+            if Dag.first_of t g <> w then
+              emit (v "create-not-first" "create edge %d->%d not into first(%d)" u w g);
+            if Dag.fparent t g <> Some (Dag.future_of t u) then
+              emit (v "create-parent" "future %d's parent mismatch" g)
+        | Dag.Get_edge ->
+            let g = Dag.future_of t u in
+            if Dag.last_of t g <> Some u then
+              emit
+                (v "get-source" "get edge %d->%d does not originate at last(%d)" u w g);
+            if Dag.kind_of t w <> Dag.Get then
+              emit (v "get-target" "get edge %d->%d targets a non-get node" u w))
+      (Dag.succs t u)
+  done;
+  (* structured use: the create-to-get dependence must flow through the
+     continuation (not through the created future itself). We check it on
+     the dag with the create edge into that future removed: the get strand's
+     SP-predecessor must be reachable from the create continuation. *)
+  for f = 1 to nf - 1 do
+    match Dag.get_node_of t f with
+    | None -> () (* never touched: fine (futures may go ungotten) *)
+    | Some gnode -> (
+        match Dag.create_cont_of t f with
+        | None -> emit (v "no-cont" "future %d has a get but no creation record" f)
+        | Some cont ->
+            (* the strand that invoked get: the unique SP predecessor *)
+            let sp_preds =
+              List.filter_map
+                (fun (ek, u) -> if ek = Dag.Sp then Some u else None)
+                (Dag.preds t gnode)
+            in
+            let invoker = match sp_preds with [ u ] -> Some u | _ -> None in
+            (match invoker with
+            | None ->
+                emit (v "get-shape" "get node %d lacks a unique SP predecessor" gnode)
+            | Some u ->
+                if not (cont = u || Dag_algo.reaches t Dag_algo.Full cont u) then
+                  emit
+                    (v "unstructured-get"
+                       "future %d: no create-continuation-to-get dependence (cont \
+                        node %d, get invoker %d)"
+                       f cont u)))
+  done;
+  List.rev !out
+
+let validate_sf_exn t =
+  match validate_sf t with
+  | [] -> ()
+  | vs ->
+      failwith
+        (String.concat "; " (List.map (fun x -> x.code ^ ": " ^ x.message) vs))
+
+let is_sp_dag t = Dag.n_futures t = 1

@@ -1,0 +1,22 @@
+(** Structural validation of recorded dags.
+
+    [validate_sf] checks both the generic dag-with-futures properties
+    (paper Properties 1–2) and the {e structured-use} restrictions
+    (single-touch; create-to-get sequential dependence through the
+    continuation). The synthetic program generator and the runtime are
+    both tested against this. *)
+
+type violation = {
+  code : string;  (** stable identifier, e.g. ["get-before-put"] *)
+  message : string;
+}
+
+val validate_sf : Dag.t -> violation list
+(** Empty list iff the dag is a well-formed SF-dag. Completed dags only
+    (every future must have a put node). *)
+
+val validate_sf_exn : Dag.t -> unit
+(** @raise Failure with all violation messages if any. *)
+
+val is_sp_dag : Dag.t -> bool
+(** True iff the dag uses no futures at all (single future dag). *)

@@ -1,0 +1,173 @@
+type access = { node : Dag.node; loc : int; is_write : bool }
+
+let kind_tag = function
+  | Dag.Root -> "root"
+  | Dag.Spawned -> "spawned"
+  | Dag.Created -> "created"
+  | Dag.Cont -> "cont"
+  | Dag.Sync -> "sync"
+  | Dag.Get -> "get"
+
+let save oc ?(accesses = []) t =
+  let pr fmt = Printf.fprintf oc fmt in
+  pr "sfdag 1\n";
+  pr "counts %d %d\n" (Dag.n_nodes t) (Dag.n_futures t);
+  for v = 0 to Dag.n_nodes t - 1 do
+    pr "node %d %d %s %d\n" v (Dag.future_of t v) (kind_tag (Dag.kind_of t v))
+      (Dag.cost_of t v);
+    (* preds in stored (prepend) order so the loader can replay exactly *)
+    List.iter
+      (fun (ek, u) ->
+        let tag =
+          match ek with Dag.Sp -> "sp" | Dag.Create_edge -> "cr" | Dag.Get_edge -> "gt"
+        in
+        pr "pred %d %s %d\n" v tag u)
+      (Dag.preds t v)
+  done;
+  for f = 0 to Dag.n_futures t - 1 do
+    pr "future %d last %d\n" f
+      (match Dag.last_of t f with Some l -> l | None -> -1)
+  done;
+  List.iter (fun (g, s) -> pr "fake %d %d\n" g s) (Dag.fake_joins t);
+  List.iter
+    (fun a -> pr "access %d %d %c\n" a.node a.loc (if a.is_write then 'w' else 'r'))
+    accesses
+
+(* -- loading: parse, then replay the builder events ------------------- *)
+
+type raw_node = {
+  rfuture : int;
+  rkind : string;
+  rcost : int;
+  mutable rpreds : (string * int) list; (* stored order *)
+}
+
+let load ic =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let line () = try Some (input_line ic) with End_of_file -> None in
+  (match line () with
+  | Some "sfdag 1" -> ()
+  | Some l -> fail "Dag_io.load: bad magic %S" l
+  | None -> fail "Dag_io.load: empty input");
+  let n_nodes, n_futures =
+    match line () with
+    | Some l -> Scanf.sscanf l "counts %d %d" (fun a b -> (a, b))
+    | None -> fail "Dag_io.load: missing counts"
+  in
+  let raw =
+    Array.make n_nodes { rfuture = 0; rkind = "root"; rcost = 0; rpreds = [] }
+  in
+  let lasts = Array.make n_futures (-1) in
+  let fakes = ref [] in
+  let accesses = ref [] in
+  let rec read () =
+    match line () with
+    | None -> ()
+    | Some l ->
+        (match String.split_on_char ' ' l with
+        | [ "node"; id; fut; kind; cost ] ->
+            raw.(int_of_string id) <-
+              {
+                rfuture = int_of_string fut;
+                rkind = kind;
+                rcost = int_of_string cost;
+                rpreds = [];
+              }
+        | [ "pred"; v; tag; u ] ->
+            let v = int_of_string v in
+            raw.(v) <- { (raw.(v)) with rpreds = raw.(v).rpreds @ [ (tag, int_of_string u) ] }
+        | [ "future"; f; "last"; l ] -> lasts.(int_of_string f) <- int_of_string l
+        | [ "fake"; g; s ] -> fakes := (int_of_string g, int_of_string s) :: !fakes
+        | [ "access"; node; loc; rw ] ->
+            accesses :=
+              {
+                node = int_of_string node;
+                loc = int_of_string loc;
+                is_write = rw = "w";
+              }
+              :: !accesses
+        | _ -> fail "Dag_io.load: bad line %S" l);
+        read ()
+  in
+  read ();
+  (* replay *)
+  let t, root = Dag.create () in
+  if n_nodes > 0 && raw.(0).rkind <> "root" then fail "Dag_io.load: node 0 not root";
+  ignore root;
+  (* fake joins grouped by sync node, in recorded (reversed-prepend) order *)
+  let fakes_by_sync = Hashtbl.create 16 in
+  List.iter
+    (fun (g, s) ->
+      Hashtbl.replace fakes_by_sync s
+        (g :: Option.value ~default:[] (Hashtbl.find_opt fakes_by_sync s)))
+    !fakes;
+  let put_done = Array.make n_futures false in
+  let emit_put f =
+    if not put_done.(f) then begin
+      put_done.(f) <- true;
+      if lasts.(f) < 0 then fail "Dag_io.load: future %d gotten but has no last" f;
+      Dag.put t ~cur:lasts.(f)
+    end
+  in
+  let v = ref 1 in
+  while !v < n_nodes do
+    let node = raw.(!v) in
+    (match node.rkind with
+    | "spawned" | "created" -> (
+        (* this event created nodes !v (child) and !v+1 (continuation) *)
+        let cur =
+          match node.rpreds with
+          | [ (_, u) ] -> u
+          | _ -> fail "Dag_io.load: child node %d must have one pred" !v
+        in
+        if node.rkind = "spawned" then begin
+          let child, cont = Dag.spawn t ~cur in
+          if child <> !v || cont <> !v + 1 then fail "Dag_io.load: replay drift"
+        end
+        else begin
+          let child, cont, _fid = Dag.create_future t ~cur in
+          if child <> !v || cont <> !v + 1 then fail "Dag_io.load: replay drift"
+        end;
+        incr v (* skip the continuation node: same event *))
+    | "sync" ->
+        (* preds stored as [s_n; ...; s_1; cur] *)
+        let cur, spawned =
+          match List.rev node.rpreds with
+          | (_, cur) :: rest -> (cur, List.map snd rest)
+          | [] -> fail "Dag_io.load: sync node %d has no preds" !v
+        in
+        let created =
+          List.rev (Option.value ~default:[] (Hashtbl.find_opt fakes_by_sync !v))
+        in
+        let s = Dag.sync t ~cur ~spawned_lasts:spawned ~created in
+        if s <> !v then fail "Dag_io.load: replay drift at sync"
+    | "get" ->
+        let cur, last =
+          match node.rpreds with
+          | [ ("gt", last); ("sp", cur) ] | [ ("sp", cur); ("gt", last) ] ->
+              (cur, last)
+          | _ -> fail "Dag_io.load: get node %d has bad preds" !v
+        in
+        let f = raw.(last).rfuture in
+        emit_put f;
+        let g = Dag.get t ~cur ~future:f in
+        if g <> !v then fail "Dag_io.load: replay drift at get"
+    | k -> fail "Dag_io.load: unexpected kind %s for node %d" k !v);
+    incr v
+  done;
+  (* costs, remaining puts *)
+  for i = 0 to n_nodes - 1 do
+    if raw.(i).rcost > 0 then Dag.add_cost t i raw.(i).rcost
+  done;
+  for f = 0 to n_futures - 1 do
+    if lasts.(f) >= 0 then emit_put f
+  done;
+  (t, List.rev !accesses)
+
+let save_file path ?accesses t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> save oc ?accesses t)
+
+let load_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> load ic)

@@ -1,0 +1,19 @@
+(** Serialization of recorded computation dags (plus optional access
+    logs) to a line-based text format, for post-mortem analysis:
+    record an execution once, then re-analyze, visualize, or simulate
+    scheduling offline ([racedetect record] / [racedetect analyze]).
+
+    Loading replays the builder events reconstructed from the node table
+    (node IDs are assigned in event order, and each node kind determines
+    its creating event), so a loaded dag is bit-for-bit equivalent to the
+    original: same IDs, same edges, same future records, same fake-join
+    list — property-tested by round-trip. *)
+
+type access = { node : Dag.node; loc : int; is_write : bool }
+
+val save : out_channel -> ?accesses:access list -> Dag.t -> unit
+val load : in_channel -> Dag.t * access list
+
+val save_file : string -> ?accesses:access list -> Dag.t -> unit
+val load_file : string -> Dag.t * access list
+(** @raise Failure on malformed input. *)

@@ -1,0 +1,50 @@
+let kind_shape = function
+  | Dag.Root -> "doublecircle"
+  | Dag.Spawned | Dag.Created -> "circle"
+  | Dag.Cont -> "circle"
+  | Dag.Sync -> "diamond"
+  | Dag.Get -> "box"
+
+let of_dag ?(name = "dag") t view =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph %s {\n  rankdir=TB;\n  node [fontsize=10];\n" name;
+  (* cluster nodes by future dag, mirroring the paper's figures *)
+  for f = 0 to Dag.n_futures t - 1 do
+    pr "  subgraph cluster_f%d {\n    label=\"future %d\";\n    style=dotted;\n" f f;
+    for v = 0 to Dag.n_nodes t - 1 do
+      if Dag.future_of t v = f then
+        pr "    n%d [label=\"%d\", shape=%s];\n" v v (kind_shape (Dag.kind_of t v))
+    done;
+    pr "  }\n"
+  done;
+  (* edges *)
+  for u = 0 to Dag.n_nodes t - 1 do
+    List.iter
+      (fun (ek, w) ->
+        match (ek, view) with
+        | Dag.Sp, _ -> pr "  n%d -> n%d;\n" u w
+        | Dag.Create_edge, Dag_algo.Full -> pr "  n%d -> n%d [color=red];\n" u w
+        | Dag.Create_edge, Dag_algo.Psp ->
+            pr "  n%d -> n%d [color=red, label=\"spawn\"];\n" u w
+        | Dag.Get_edge, Dag_algo.Full -> pr "  n%d -> n%d [color=blue];\n" u w
+        | Dag.Get_edge, Dag_algo.Psp -> ())
+      (Dag.succs t u)
+  done;
+  (match view with
+  | Dag_algo.Full -> ()
+  | Dag_algo.Psp ->
+      List.iter
+        (fun (g, s) ->
+          match Dag.last_of t g with
+          | None -> ()
+          | Some last -> pr "  n%d -> n%d [style=dashed, color=gray];\n" last s)
+        (Dag.fake_joins t));
+  pr "}\n";
+  Buffer.contents buf
+
+let write_file ~path ?name t view =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (of_dag ?name t view))

@@ -1,0 +1,10 @@
+(** Graphviz DOT export of recorded dags — regenerates the paper's
+    Figure 1 (an SF-dag, with create edges red and get edges blue) and
+    Figure 2 (its pseudo-SP-dag, with fake join edges dashed). *)
+
+val of_dag : ?name:string -> Dag.t -> Dag_algo.view -> string
+(** DOT source. Nodes are labelled with their ID and clustered by future;
+    in the [Psp] view get edges disappear and fake join edges appear
+    dashed. *)
+
+val write_file : path:string -> ?name:string -> Dag.t -> Dag_algo.view -> unit

@@ -1,0 +1,299 @@
+type 'a policy =
+  | Keep_all
+  | Lr_per_future of {
+      future_of : 'a -> int;
+      more_left : 'a -> 'a -> bool;
+      more_right : 'a -> 'a -> bool;
+      covers : 'a -> 'a -> bool;
+    }
+
+type sync_mode = [ `Mutex | `Unsynchronized | `Lockfree ]
+
+(* -- striped (mutex / unsynchronized) representation ------------------- *)
+
+type 'a readers =
+  | R_all of 'a list
+  | R_lr of (int, 'a * 'a) Hashtbl.t (* future id -> (leftmost, rightmost) *)
+
+type 'a cell = {
+  mutable writer : 'a option;
+  mutable readers : 'a readers;
+  mutable nreaders : int;
+}
+
+type 'a stripe = { mu : Mutex.t; cells : (int, 'a cell) Hashtbl.t }
+
+(* -- lock-free representation ------------------------------------------ *)
+
+(* Locations are dense within a run (Program.alloc hands out consecutive
+   IDs) but need not start near zero (the allocator's counter is global to
+   the process), so the lock-free variant indexes an offset window of
+   cells: cell for location l lives at cells.(l - base). The window grows
+   in either direction by copy-on-write snapshots (cell refs are shared
+   between snapshots, so a reader holding a stale snapshot still reaches
+   the right cell). *)
+type 'a lf_cell = {
+  lf_writer : 'a option Atomic.t;
+  lf_readers : 'a list Atomic.t;
+  lf_count : int Atomic.t; (* approximate reader count *)
+}
+
+type 'a lf_window = { base : int; cells : 'a lf_cell option array }
+
+type 'a lf_table = {
+  snapshot : 'a lf_window option Atomic.t;
+  grow_mu : Mutex.t;
+}
+
+type 'a repr =
+  | Striped of 'a stripe array * bool (* use locks? *)
+  | Lf of 'a lf_table
+
+type 'a t = {
+  policy : 'a policy;
+  repr : 'a repr;
+  max_readers : int Atomic.t;
+}
+
+let create ?(stripes = 64) ?(sync = `Mutex) policy =
+  let repr =
+    match sync with
+    | (`Mutex | `Unsynchronized) as s ->
+        (* stripe selection masks the location: round up to a power of 2 *)
+        let rec pow2 n = if n >= stripes then n else pow2 (2 * n) in
+        let stripes = pow2 1 in
+        Striped
+          ( Array.init stripes (fun _ ->
+                { mu = Mutex.create (); cells = Hashtbl.create 64 }),
+            s = `Mutex )
+    | `Lockfree -> (
+        match policy with
+        | Keep_all ->
+            Lf { snapshot = Atomic.make None; grow_mu = Mutex.create () }
+        | Lr_per_future _ ->
+            invalid_arg "Access_history.create: `Lockfree requires Keep_all")
+  in
+  { policy; repr; max_readers = Atomic.make 0 }
+
+let note_high_water t n =
+  let rec loop () =
+    let m = Atomic.get t.max_readers in
+    if n > m && not (Atomic.compare_and_set t.max_readers m n) then loop ()
+  in
+  loop ()
+
+(* -- striped paths ------------------------------------------------------ *)
+
+let empty_readers = function
+  | Keep_all -> R_all []
+  | Lr_per_future _ -> R_lr (Hashtbl.create 4)
+
+let with_cell t stripes locking loc f =
+  let stripe = stripes.(loc land (Array.length stripes - 1)) in
+  if locking then Mutex.lock stripe.mu;
+  let cell =
+    match Hashtbl.find_opt stripe.cells loc with
+    | Some c -> c
+    | None ->
+        let c = { writer = None; readers = empty_readers t.policy; nreaders = 0 } in
+        Hashtbl.add stripe.cells loc c;
+        c
+  in
+  let result = f cell in
+  if locking then Mutex.unlock stripe.mu;
+  result
+
+let striped_read t stripes locking ~loc ~accessor ~check_writer =
+  with_cell t stripes locking loc (fun cell ->
+      (match cell.writer with Some w -> check_writer w | None -> ());
+      (match (t.policy, cell.readers) with
+      | Keep_all, R_all rs ->
+          (* collapse consecutive reads by the same strand *)
+          let same_strand = match rs with r :: _ -> r == accessor | [] -> false in
+          if not same_strand then begin
+            cell.readers <- R_all (accessor :: rs);
+            cell.nreaders <- cell.nreaders + 1
+          end
+      | Lr_per_future { future_of; more_left; more_right; covers }, R_lr tbl -> (
+          let f = future_of accessor in
+          match Hashtbl.find_opt tbl f with
+          | None ->
+              Hashtbl.add tbl f (accessor, accessor);
+              cell.nreaders <- cell.nreaders + 2
+          | Some (l, r) ->
+              if covers l accessor && covers r accessor then
+                (* both stored readers precede the new one: it supersedes *)
+                Hashtbl.replace tbl f (accessor, accessor)
+              else begin
+                let l = if more_left accessor l then accessor else l in
+                let r = if more_right accessor r then accessor else r in
+                Hashtbl.replace tbl f (l, r)
+              end)
+      | Keep_all, R_lr _ | Lr_per_future _, R_all _ -> assert false);
+      note_high_water t cell.nreaders)
+
+let striped_write t stripes locking ~loc ~accessor ~check =
+  with_cell t stripes locking loc (fun cell ->
+      (match cell.writer with
+      | Some w -> check ~prev:w ~prev_is_writer:true
+      | None -> ());
+      (match cell.readers with
+      | R_all rs -> List.iter (fun r -> check ~prev:r ~prev_is_writer:false) rs
+      | R_lr tbl ->
+          Hashtbl.iter
+            (fun _ (l, r) ->
+              check ~prev:l ~prev_is_writer:false;
+              if r != l then check ~prev:r ~prev_is_writer:false)
+            tbl);
+      cell.readers <- empty_readers t.policy;
+      cell.nreaders <- 0;
+      cell.writer <- Some accessor)
+
+(* -- lock-free paths ----------------------------------------------------- *)
+
+let lf_in_window w loc = loc >= w.base && loc - w.base < Array.length w.cells
+
+(* grow (or create) the window to cover [loc]; call with grow_mu held *)
+let lf_grow_locked tbl loc =
+  match Atomic.get tbl.snapshot with
+  | Some w when lf_in_window w loc -> w
+  | Some w ->
+      let old_len = Array.length w.cells in
+      let lo = min w.base (loc land lnot 1023) in
+      let hi = max (w.base + old_len) (loc + 1) in
+      (* at least double, to amortize copies *)
+      let len = max (hi - lo) (2 * old_len) in
+      let cells = Array.make len None in
+      Array.blit w.cells 0 cells (w.base - lo) old_len;
+      let w' = { base = lo; cells } in
+      Atomic.set tbl.snapshot (Some w');
+      w'
+  | None ->
+      let w = { base = loc land lnot 1023; cells = Array.make 2048 None } in
+      Atomic.set tbl.snapshot (Some w);
+      w
+
+let lf_cell_of tbl loc =
+  let w =
+    match Atomic.get tbl.snapshot with
+    | Some w when lf_in_window w loc -> w
+    | Some _ | None ->
+        Mutex.lock tbl.grow_mu;
+        let w = lf_grow_locked tbl loc in
+        Mutex.unlock tbl.grow_mu;
+        w
+  in
+  match w.cells.(loc - w.base) with
+  | Some cell -> cell
+  | None ->
+      (* install a fresh cell; lose the race gracefully *)
+      Mutex.lock tbl.grow_mu;
+      let w = lf_grow_locked tbl loc in
+      let cell =
+        match w.cells.(loc - w.base) with
+        | Some cell -> cell
+        | None ->
+            let cell =
+              {
+                lf_writer = Atomic.make None;
+                lf_readers = Atomic.make [];
+                lf_count = Atomic.make 0;
+              }
+            in
+            w.cells.(loc - w.base) <- Some cell;
+            cell
+      in
+      Mutex.unlock tbl.grow_mu;
+      cell
+
+let lf_read t tbl ~loc ~accessor ~check_writer =
+  let cell = lf_cell_of tbl loc in
+  (* publish the reader first, then validate against the current writer:
+     a concurrent writer either drains this reader or was installed
+     before our validation read (see the .mli completeness note) *)
+  let rec push () =
+    let rs = Atomic.get cell.lf_readers in
+    let same_strand = match rs with r :: _ -> r == accessor | [] -> false in
+    if not same_strand then
+      if Atomic.compare_and_set cell.lf_readers rs (accessor :: rs) then begin
+        let n = 1 + Atomic.fetch_and_add cell.lf_count 1 in
+        note_high_water t n
+      end
+      else push ()
+  in
+  push ();
+  match Atomic.get cell.lf_writer with
+  | Some w -> check_writer w
+  | None -> ()
+
+let lf_write _t tbl ~loc ~accessor ~check =
+  let cell = lf_cell_of tbl loc in
+  (match Atomic.exchange cell.lf_writer (Some accessor) with
+  | Some w -> check ~prev:w ~prev_is_writer:true
+  | None -> ());
+  let rs = Atomic.exchange cell.lf_readers [] in
+  Atomic.set cell.lf_count 0;
+  List.iter (fun r -> check ~prev:r ~prev_is_writer:false) rs
+
+(* -- dispatch ------------------------------------------------------------ *)
+
+let on_read t ~loc ~accessor ~check_writer =
+  match t.repr with
+  | Striped (stripes, locking) -> striped_read t stripes locking ~loc ~accessor ~check_writer
+  | Lf tbl -> lf_read t tbl ~loc ~accessor ~check_writer
+
+let on_write t ~loc ~accessor ~check =
+  match t.repr with
+  | Striped (stripes, locking) -> striped_write t stripes locking ~loc ~accessor ~check
+  | Lf tbl -> lf_write t tbl ~loc ~accessor ~check
+
+(* -- statistics ----------------------------------------------------------- *)
+
+let fold_striped stripes locking f init =
+  Array.fold_left
+    (fun acc stripe ->
+      if locking then Mutex.lock stripe.mu;
+      let acc = Hashtbl.fold (fun _ cell acc -> f acc cell) stripe.cells acc in
+      if locking then Mutex.unlock stripe.mu;
+      acc)
+    init stripes
+
+let fold_lf tbl f init =
+  match Atomic.get tbl.snapshot with
+  | None -> init
+  | Some w ->
+      Array.fold_left
+        (fun acc slot -> match slot with Some cell -> f acc cell | None -> acc)
+        init w.cells
+
+let locations_tracked t =
+  match t.repr with
+  | Striped (stripes, locking) -> fold_striped stripes locking (fun acc _ -> acc + 1) 0
+  | Lf tbl -> fold_lf tbl (fun acc _ -> acc + 1) 0
+
+let readers_stored t =
+  match t.repr with
+  | Striped (stripes, locking) ->
+      fold_striped stripes locking (fun acc c -> acc + c.nreaders) 0
+  | Lf tbl -> fold_lf tbl (fun acc c -> acc + List.length (Atomic.get c.lf_readers)) 0
+
+let max_readers_at_once t = Atomic.get t.max_readers
+
+let words t =
+  match t.repr with
+  | Striped (stripes, locking) ->
+      fold_striped stripes locking
+        (fun acc c ->
+          acc + 6
+          +
+          match c.readers with
+          | R_all rs -> 3 * List.length rs
+          | R_lr tbl -> 5 * Hashtbl.length tbl)
+        (8 * Array.length stripes)
+  | Lf tbl ->
+      fold_lf tbl
+        (fun acc c -> acc + 6 + (3 * List.length (Atomic.get c.lf_readers)))
+        ((match Atomic.get tbl.snapshot with
+         | Some w -> Array.length w.cells
+         | None -> 0)
+        + 4)

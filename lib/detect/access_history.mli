@@ -1,0 +1,77 @@
+(** Shadow memory — the access-history component (paper Sections 3.5, 4).
+
+    A two-level structure: locations hash to striped buckets, each stripe
+    guarded by its own mutex (the paper's fine-grained locking over
+    16-byte granules). Per location the history keeps the last writer and
+    previous readers under one of two policies:
+
+    - [Keep_all]: every reader since the last write (collapsing
+      consecutive same-strand reads) — what both F-Order and the paper's
+      own SF-Order implementation store;
+    - [Lr_per_future]: only the leftmost and rightmost reader per future
+      dag — the ≤ 2k bound this paper proves sufficient for structured
+      futures (Lemmas 3.10/3.11). Requires English/Hebrew comparators.
+
+    Three synchronization modes address the paper's closing observation
+    that access-history synchronization dominates full-detection overhead:
+
+    - [`Mutex] (default): per-stripe locks; the [check] callbacks run
+      inside the location's critical section, so each location's access
+      sequence is linearized. The paper's design.
+    - [`Unsynchronized]: no synchronization at all — sound only under a
+      serial execution; isolates the locking cost (ablation A).
+    - [`Lockfree]: the "redesigned access history" the paper's conclusion
+      asks for. Writers install themselves with an atomic exchange and
+      drain the reader set with another; readers push onto a Treiber
+      stack and then validate against the current writer. Per-location
+      completeness is preserved: for any conflicting parallel pair, either
+      the reader is in the set a writer drains, or (by the real-time order
+      that dag precedence forces) the reader observes that writer or a
+      racing successor of it, so some check on that location fires.
+      [`Lockfree] supports the [Keep_all] policy only.
+
+    On a write the readers are drained/cleared and the writer replaced —
+    the standard update preserving the per-location reported-iff-exists
+    guarantee. *)
+
+type 'a policy =
+  | Keep_all
+  | Lr_per_future of {
+      future_of : 'a -> int;
+      more_left : 'a -> 'a -> bool;
+          (** [more_left a b]: [a] strictly before [b] in English order. *)
+      more_right : 'a -> 'a -> bool;
+          (** [more_right a b]: [a] strictly before [b] in Hebrew order
+              (i.e. further right in the dag). *)
+      covers : 'a -> 'a -> bool;
+          (** [covers a b]: [a ≺ b] in the dag — [a] is redundant once [b]
+              is stored (Mellor-Crummey's replacement rule). *)
+    }
+
+type sync_mode = [ `Mutex | `Unsynchronized | `Lockfree ]
+
+type 'a t
+
+val create : ?stripes:int -> ?sync:sync_mode -> 'a policy -> 'a t
+(** Defaults: 64 stripes, [`Mutex].
+    @raise Invalid_argument for [`Lockfree] with [Lr_per_future]. *)
+
+val on_read : 'a t -> loc:int -> accessor:'a -> check_writer:('a -> unit) -> unit
+(** Calls [check_writer] on the stored last writer (if any), then records
+    the reader per policy. *)
+
+val on_write :
+  'a t -> loc:int -> accessor:'a -> check:(prev:'a -> prev_is_writer:bool -> unit) -> unit
+(** Calls [check] on the stored writer and on every stored reader, then
+    clears the readers and installs the new writer. *)
+
+val locations_tracked : 'a t -> int
+val readers_stored : 'a t -> int
+(** Currently stored readers across all locations. *)
+
+val max_readers_at_once : 'a t -> int
+(** High-water mark of readers stored for a single location — the
+    quantity the paper bounds by 2k for structured futures. (Approximate
+    under [`Lockfree].) *)
+
+val words : 'a t -> int

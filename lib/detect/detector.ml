@@ -1,0 +1,14 @@
+type t = {
+  name : string;
+  callbacks : Sfr_runtime.Events.callbacks;
+  root : Sfr_runtime.Events.state;
+  races : Race.t;
+  queries : unit -> int;
+  reach_words : unit -> int;
+  reach_table_words : unit -> int;
+  history_words : unit -> int;
+  max_readers : unit -> int;
+  supports_parallel : bool;
+}
+
+let racy_locations t = Race.racy_locations t.races

@@ -1,0 +1,31 @@
+(** Uniform view of an on-the-fly race detector instance.
+
+    A detector is an {!Events.callbacks} client plus introspection used by
+    the benchmark harness (query counts, reachability-structure memory for
+    Figure 5) and the tests (per-location race verdicts). Instances are
+    single-use: make one per execution. *)
+
+type t = {
+  name : string;
+  callbacks : Sfr_runtime.Events.callbacks;
+  root : Sfr_runtime.Events.state;
+  races : Race.t;
+  queries : unit -> int;
+      (** reachability queries performed (Figure 3's "# queries"). *)
+  reach_words : unit -> int;
+      (** live machine words in reachability structures. *)
+  reach_table_words : unit -> int;
+      (** cumulative words allocated into the per-node future tables
+          (gp/cp bitmaps or nsp hash tables) — the Figure 5 metric; our
+          tables are reference-counted and freed, whereas the paper's
+          implementations retain one per node, so the cumulative count is
+          what corresponds to their measurement. *)
+  history_words : unit -> int;
+  max_readers : unit -> int;
+      (** access-history high-water mark of readers per location. *)
+  supports_parallel : bool;
+      (** false for the sequential (MultiBags-style) detector, whose
+          reachability is only meaningful under depth-first execution. *)
+}
+
+val racy_locations : t -> int list

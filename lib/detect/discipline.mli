@@ -1,0 +1,33 @@
+(** Dynamic verification of the structured-futures discipline.
+
+    SF-Order's correctness (and MultiBags') {e assumes} the program uses
+    futures in the structured way (paper Section 2): single-touch is
+    enforced by the runtime, but the second restriction — a sequential
+    dependence from the create's continuation to the get, avoiding the
+    created future — is a global dag property. This client checks it
+    on-the-fly: it maintains the same pseudo-SP-dag order-maintenance and
+    [cp]/[gp] structures as SF-Order and, at each get on a future [G],
+    checks [Precedes(create-continuation(G), getting strand)].
+
+    For structured programs the check always passes (it is exactly the
+    restriction); for violating programs it flags the offending future
+    (best effort: under violations the reachability structures themselves
+    may degrade, but the witnessing get's check fires before the
+    violation can corrupt them, since everything it consults was built by
+    strictly earlier events).
+
+    Compose with a detector through {!Sfr_runtime.Events.pair} to race
+    detect and lint in one run. *)
+
+type violation = {
+  future : int;  (** the future whose get violates the discipline *)
+  message : string;
+}
+
+type t = {
+  callbacks : Sfr_runtime.Events.callbacks;
+  root : Sfr_runtime.Events.state;
+  violations : unit -> violation list;
+}
+
+val make : unit -> t

@@ -1,0 +1,102 @@
+module Events = Sfr_runtime.Events
+module Sp_bags = Sfr_reach.Sp_bags
+module Fp_sets = Sfr_reach.Fp_sets
+module Vec = Sfr_support.Vec
+
+type strand = {
+  frame : Sp_bags.frame;
+  fid : int;
+  gp : Fp_sets.table;
+}
+
+type Events.state += Mb of strand
+
+let as_mb = function Mb s -> s | _ -> invalid_arg "Multibags: foreign state"
+
+let make () =
+  let bags, root_frame = Sp_bags.create () in
+  let eng = Fp_sets.create Fp_sets.Bitmap in
+  let cp : Fp_sets.table Vec.t = Vec.create ~dummy:(Fp_sets.empty eng) () in
+  let (_ : int) = Vec.push cp (Fp_sets.empty eng) in
+  let races = Race.create () in
+  let queries = ref 0 in
+  let precedes (u : strand) (v : strand) =
+    incr queries;
+    if u == v then true
+    else if u.fid = v.fid || Fp_sets.mem (Vec.get cp v.fid) u.fid then
+      (* Cases 1-2: pseudo-SP-dag reachability relative to the current
+         (depth-first) execution point, via the bags *)
+      Sp_bags.is_serial_with_current bags u.frame
+    else Fp_sets.mem v.gp u.fid (* Case 3 *)
+  in
+  let history = Access_history.create ~sync:`Unsynchronized Access_history.Keep_all in
+  let callbacks =
+    {
+      Events.on_spawn =
+        (fun cur ->
+          let cur = as_mb cur in
+          let child_frame = Sp_bags.spawn_child bags in
+          let child = { frame = child_frame; fid = cur.fid; gp = Fp_sets.share cur.gp } in
+          let cont = { frame = cur.frame; fid = cur.fid; gp = cur.gp } in
+          (Mb child, Mb cont));
+      on_create =
+        (fun cur ->
+          let cur = as_mb cur in
+          let parent_cp = Fp_sets.share (Vec.get cp cur.fid) in
+          let child_cp = Fp_sets.with_added eng parent_cp cur.fid in
+          let fid = Vec.push cp child_cp in
+          let child_frame = Sp_bags.spawn_child bags in
+          let child = { frame = child_frame; fid; gp = Fp_sets.share cur.gp } in
+          let cont = { frame = cur.frame; fid = cur.fid; gp = cur.gp } in
+          (Mb child, Mb cont));
+      on_sync =
+        (fun ~cur ~spawned_lasts ~created_firsts:_ ->
+          let cur = as_mb cur in
+          Sp_bags.sync bags cur.frame;
+          let gp =
+            Fp_sets.merge eng cur.gp (List.map (fun s -> (as_mb s).gp) spawned_lasts)
+          in
+          Mb { frame = cur.frame; fid = cur.fid; gp });
+      on_put = (fun _ -> ());
+      on_get =
+        (fun ~cur ~put ->
+          let cur = as_mb cur and put = as_mb put in
+          let gp =
+            Fp_sets.with_added eng (Fp_sets.merge eng cur.gp [ put.gp ]) put.fid
+          in
+          Mb { frame = cur.frame; fid = cur.fid; gp });
+      on_returned =
+        (fun ~cont ~child_last ->
+          let cont = as_mb cont and child_last = as_mb child_last in
+          Sp_bags.child_returned bags ~parent:cont.frame ~child:child_last.frame);
+      on_read =
+        (fun state loc ->
+          let v = as_mb state in
+          Access_history.on_read history ~loc ~accessor:v ~check_writer:(fun w ->
+              if not (precedes w v) then
+                Race.report races ~loc ~kind:Race.Write_read ~prev_future:w.fid
+                  ~cur_future:v.fid));
+      on_write =
+        (fun state loc ->
+          let v = as_mb state in
+          Access_history.on_write history ~loc ~accessor:v
+            ~check:(fun ~prev ~prev_is_writer ->
+              if not (precedes prev v) then
+                Race.report races ~loc
+                  ~kind:(if prev_is_writer then Race.Write_write else Race.Read_write)
+                  ~prev_future:prev.fid ~cur_future:v.fid));
+      on_work = (fun _ _ -> ());
+    }
+  in
+  {
+    Detector.name = "multibags";
+    callbacks;
+    root = Mb { frame = root_frame; fid = 0; gp = Fp_sets.empty eng };
+    races;
+    queries = (fun () -> !queries);
+    reach_words = (fun () -> Sp_bags.words bags + Fp_sets.live_words eng);
+    reach_table_words = (fun () -> Fp_sets.total_words eng);
+    history_words = (fun () -> Access_history.words history);
+    max_readers = (fun () -> Access_history.max_readers_at_once history);
+    supports_parallel = false;
+  }

@@ -1,0 +1,20 @@
+(** MultiBags-equivalent sequential race detector for structured futures
+    (the Utterback et al. PPoPP'19 baseline; see DESIGN.md §5.3 for the
+    substitution note).
+
+    Reachability during a depth-first serial execution uses union-find
+    bags (classic SP-bags) maintained over the pseudo-SP-dag — create
+    treated as spawn — answering Cases 1–2 of the paper's query in
+    amortized inverse-Ackermann time; Case 3 uses the same [gp] bitmaps
+    as SF-Order (and the same [cp] gate to avoid the pseudo-SP-dag's
+    phantom paths between non-ancestor futures).
+
+    Inherently sequential: bag contents are only meaningful relative to
+    the single current execution point, so this detector must run under
+    {!Sfr_runtime.Serial_exec} ([supports_parallel = false]). No
+    access-history locking is needed — the advantage Figure 4's one-core
+    column shows. The access history stores all readers between writes,
+    as sequential future detectors do (paper Section 1: up to [r]
+    accessors per location). *)
+
+val make : unit -> Detector.t

@@ -1,0 +1,44 @@
+type kind = Read_write | Write_write | Write_read
+
+type report = {
+  loc : int;
+  kind : kind;
+  prev_future : int;
+  cur_future : int;
+  count : int;
+}
+
+type t = {
+  mu : Mutex.t;
+  by_loc : (int, report) Hashtbl.t;
+  total : int Atomic.t;
+}
+
+let create () = { mu = Mutex.create (); by_loc = Hashtbl.create 64; total = Atomic.make 0 }
+
+let report t ~loc ~kind ~prev_future ~cur_future =
+  Atomic.incr t.total;
+  Mutex.lock t.mu;
+  (match Hashtbl.find_opt t.by_loc loc with
+  | Some r -> Hashtbl.replace t.by_loc loc { r with count = r.count + 1 }
+  | None -> Hashtbl.add t.by_loc loc { loc; kind; prev_future; cur_future; count = 1 });
+  Mutex.unlock t.mu
+
+let racy_locations t =
+  Mutex.lock t.mu;
+  let locs = Hashtbl.fold (fun loc _ acc -> loc :: acc) t.by_loc [] in
+  Mutex.unlock t.mu;
+  List.sort compare locs
+
+let reports t =
+  Mutex.lock t.mu;
+  let rs = Hashtbl.fold (fun _ r acc -> r :: acc) t.by_loc [] in
+  Mutex.unlock t.mu;
+  List.sort (fun a b -> compare a.loc b.loc) rs
+
+let total_witnessed t = Atomic.get t.total
+
+let pp_kind ppf = function
+  | Read_write -> Format.pp_print_string ppf "read-write"
+  | Write_write -> Format.pp_print_string ppf "write-write"
+  | Write_read -> Format.pp_print_string ppf "write-read"

@@ -1,0 +1,136 @@
+module Events = Sfr_runtime.Events
+module Sp_order = Sfr_reach.Sp_order
+module Fp_sets = Sfr_reach.Fp_sets
+
+(* Per-strand detector state — the paper's "node". The [gp] table is the
+   strand's reference-counted future set; the [block] is its frame's
+   current sync-block placeholder in the pseudo-SP-dag orders. *)
+type strand = {
+  pos : Sp_order.pos;
+  block : Sp_order.block option;
+  fid : int;
+  gp : Fp_sets.table;
+}
+
+type Events.state += Sf of strand
+
+let as_sf = function Sf s -> s | _ -> invalid_arg "Sf_order: foreign state"
+
+let make_with_precedes ?(readers = `All) ?(sets = `Bitmap) ?(history = `Mutex) () =
+  let spo, root_pos = Sp_order.create () in
+  let eng =
+    Fp_sets.create (match sets with `Bitmap -> Fp_sets.Bitmap | `Hashed -> Fp_sets.Hashed)
+  in
+  (* cp(G) per future, indexed by future ID. Queries read a copy-on-write
+     array snapshot lock-free (entries are immutable once installed);
+     creates serialize on a mutex and install a grown snapshot — O(k)
+     per create, inside the O(k²) construction budget of Lemma 3.12. *)
+  let cp : Fp_sets.table array Atomic.t = Atomic.make [| Fp_sets.empty eng |] in
+  let cp_mu = Mutex.create () in
+  let races = Race.create () in
+  let queries = Atomic.make 0 in
+  (* Algorithm 1: Precedes(u, v) for a previous accessor u against the
+     currently executing strand v. *)
+  let precedes (u : strand) (v : strand) =
+    Atomic.incr queries;
+    if u == v then true
+    else if u.fid = v.fid then Sp_order.precedes spo u.pos v.pos
+    else if Fp_sets.mem (Atomic.get cp).(v.fid) u.fid then
+      Sp_order.precedes spo u.pos v.pos
+    else Fp_sets.mem v.gp u.fid
+  in
+  let policy =
+    match readers with
+    | `All -> Access_history.Keep_all
+    | `Two_per_future ->
+        Access_history.Lr_per_future
+          {
+            future_of = (fun (s : strand) -> s.fid);
+            more_left = (fun a b -> Sp_order.eng_precedes spo a.pos b.pos);
+            more_right = (fun a b -> Sp_order.heb_precedes spo a.pos b.pos);
+            covers = (fun a b -> a == b || Sp_order.precedes spo a.pos b.pos);
+          }
+  in
+  let history = Access_history.create ~sync:history policy in
+  let callbacks =
+    {
+      Events.on_spawn =
+        (fun cur ->
+          let cur = as_sf cur in
+          let c_pos, t_pos, blk = Sp_order.spawn spo ~cur:cur.pos ~block:cur.block in
+          let child =
+            { pos = c_pos; block = None; fid = cur.fid; gp = Fp_sets.share cur.gp }
+          in
+          (* the continuation inherits the current strand's gp reference *)
+          let cont = { pos = t_pos; block = Some blk; fid = cur.fid; gp = cur.gp } in
+          (Sf child, Sf cont));
+      on_create =
+        (fun cur ->
+          let cur = as_sf cur in
+          (* cp(G) = cp(parent) ∪ {parent}: one O(k/w) copy per future,
+             the O(k²) construction term of Lemma 3.12 *)
+          Mutex.lock cp_mu;
+          let old = Atomic.get cp in
+          let fid = Array.length old in
+          let parent_cp = Fp_sets.share old.(cur.fid) in
+          let child_cp = Fp_sets.with_added eng parent_cp cur.fid in
+          Atomic.set cp (Array.append old [| child_cp |]);
+          Mutex.unlock cp_mu;
+          let c_pos, t_pos, blk = Sp_order.spawn spo ~cur:cur.pos ~block:cur.block in
+          let child = { pos = c_pos; block = None; fid; gp = Fp_sets.share cur.gp } in
+          let cont = { pos = t_pos; block = Some blk; fid = cur.fid; gp = cur.gp } in
+          (Sf child, Sf cont));
+      on_sync =
+        (fun ~cur ~spawned_lasts ~created_firsts:_ ->
+          let cur = as_sf cur in
+          let pos = Sp_order.sync spo ~cur:cur.pos ~block:cur.block in
+          let gp =
+            Fp_sets.merge eng cur.gp (List.map (fun s -> (as_sf s).gp) spawned_lasts)
+          in
+          Sf { pos; block = None; fid = cur.fid; gp });
+      on_put = (fun _ -> ());
+      on_get =
+        (fun ~cur ~put ->
+          let cur = as_sf cur and put = as_sf put in
+          let pos = Sp_order.step spo ~cur:cur.pos in
+          (* gp(g) = gp(cur) ∪ gp(last(G)) ∪ {G} (Section 3.4) *)
+          let gp =
+            Fp_sets.with_added eng (Fp_sets.merge eng cur.gp [ put.gp ]) put.fid
+          in
+          Sf { pos; block = cur.block; fid = cur.fid; gp });
+      on_returned = (fun ~cont:_ ~child_last:_ -> ());
+      on_read =
+        (fun state loc ->
+          let v = as_sf state in
+          Access_history.on_read history ~loc ~accessor:v ~check_writer:(fun w ->
+              if not (precedes w v) then
+                Race.report races ~loc ~kind:Race.Write_read ~prev_future:w.fid
+                  ~cur_future:v.fid));
+      on_write =
+        (fun state loc ->
+          let v = as_sf state in
+          Access_history.on_write history ~loc ~accessor:v
+            ~check:(fun ~prev ~prev_is_writer ->
+              if not (precedes prev v) then
+                Race.report races ~loc
+                  ~kind:(if prev_is_writer then Race.Write_write else Race.Read_write)
+                  ~prev_future:prev.fid ~cur_future:v.fid));
+      on_work = (fun _ _ -> ());
+    }
+  in
+  ( {
+    Detector.name = "sf-order";
+    callbacks;
+    root = Sf { pos = root_pos; block = None; fid = 0; gp = Fp_sets.empty eng };
+    races;
+    queries = (fun () -> Atomic.get queries);
+    reach_words = (fun () -> Sp_order.words spo + Fp_sets.live_words eng);
+    reach_table_words = (fun () -> Fp_sets.total_words eng);
+    history_words = (fun () -> Access_history.words history);
+    max_readers = (fun () -> Access_history.max_readers_at_once history);
+    supports_parallel = true;
+  },
+    fun u v -> precedes (as_sf u) (as_sf v) )
+
+let make ?readers ?sets ?history () =
+  fst (make_with_precedes ?readers ?sets ?history ())

@@ -1,0 +1,51 @@
+(** SF-Order — the paper's contribution: a parallel on-the-fly determinacy
+    race detector for programs with structured futures.
+
+    Reachability (Algorithm 1, Section 3.2) combines three structures:
+
+    + WSP-Order English/Hebrew order maintenance over the pseudo-SP-dag
+      ({!Sfr_reach.Sp_order}), answering [u ↠ v] in O(1);
+    + [cp(G)] — per-future bitmap of future ancestors;
+    + [gp(v)] — per-strand bitmap of futures whose last node NSP-precedes
+      [v] ({!Sfr_reach.Fp_sets}).
+
+    A query [Precedes(u, v)] for a previous accessor [u ∈ F] against the
+    current strand [v ∈ G]:
+
+    - [F = G]: answer [u ↠ v]                                  (Lemma 3.7)
+    - [F ∈ cp(G)]: answer [u ↠ v]                        (Lemmas 3.8, 3.9)
+    - otherwise: answer [F ∈ gp(v)]                            (Lemma 3.4)
+
+    All three cases are O(1); total reachability-maintenance work is
+    O(T1 + k²) (Lemma 3.12).
+
+    Options mirror the paper's design space:
+    - [readers]: [`All] stores every reader between writes (what the
+      paper's own implementation does, Section 4); [`Two_per_future]
+      stores only the leftmost/rightmost reader per future — the 2k bound
+      of Lemmas 3.10/3.11.
+    - [sets]: [`Bitmap] (the paper's arrays of 64-bit words) or [`Hashed]
+      (hash tables, for the ablation against F-Order's representation).
+    - [history]: access-history synchronization — [`Mutex] (the paper's
+      fine-grained locks), [`Unsynchronized] (serial runs only; isolates
+      the locking overhead the paper discusses), or [`Lockfree] (the
+      redesigned low-synchronization history the paper's conclusion asks
+      for; see {!Access_history}). *)
+
+val make :
+  ?readers:[ `All | `Two_per_future ] ->
+  ?sets:[ `Bitmap | `Hashed ] ->
+  ?history:Access_history.sync_mode ->
+  unit ->
+  Detector.t
+(** Defaults: [`All] readers, [`Bitmap] sets, [`Mutex] history. *)
+
+val make_with_precedes :
+  ?readers:[ `All | `Two_per_future ] ->
+  ?sets:[ `Bitmap | `Hashed ] ->
+  ?history:Access_history.sync_mode ->
+  unit ->
+  Detector.t * (Sfr_runtime.Events.state -> Sfr_runtime.Events.state -> bool)
+(** The detector plus its raw [Precedes] query over strand states (for
+    reachability differential tests and power users); valid during and
+    after the execution. *)

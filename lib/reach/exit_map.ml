@@ -1,0 +1,137 @@
+type 'v eng = {
+  allocs : int Atomic.t;
+  live : int Atomic.t;
+  peak : int Atomic.t;
+  total : int Atomic.t;
+  mutable empty_table : 'v table option;
+}
+
+and 'v table = {
+  tbl : (int, 'v list) Hashtbl.t;
+  rc : int Atomic.t;
+  owner : 'v eng;
+}
+
+let table_words t =
+  let s = Hashtbl.stats t.tbl in
+  let list_words =
+    Hashtbl.fold (fun _ vs acc -> acc + (3 * List.length vs)) t.tbl 0
+  in
+  s.Hashtbl.num_buckets + (3 * s.Hashtbl.num_bindings) + list_words + 6
+
+let bump_peak eng =
+  let live = Atomic.get eng.live in
+  let rec loop () =
+    let p = Atomic.get eng.peak in
+    if live > p && not (Atomic.compare_and_set eng.peak p live) then loop ()
+  in
+  loop ()
+
+let alloc eng tbl =
+  let t = { tbl; rc = Atomic.make 1; owner = eng } in
+  Atomic.incr eng.allocs;
+  let w = table_words t in
+  ignore (Atomic.fetch_and_add eng.live w);
+  ignore (Atomic.fetch_and_add eng.total w);
+  bump_peak eng;
+  t
+
+let create () =
+  let eng =
+    {
+      allocs = Atomic.make 0;
+      live = Atomic.make 0;
+      peak = Atomic.make 0;
+      total = Atomic.make 0;
+      empty_table = None;
+    }
+  in
+  eng.empty_table <- Some (alloc eng (Hashtbl.create 4));
+  eng
+
+let share t =
+  Atomic.incr t.rc;
+  t
+
+let empty eng =
+  match eng.empty_table with Some t -> share t | None -> assert false
+
+let release t =
+  let prev = Atomic.fetch_and_add t.rc (-1) in
+  if prev = 1 then ignore (Atomic.fetch_and_add t.owner.live (-table_words t))
+
+let copy_tbl t = Hashtbl.copy t
+
+let has_exit tbl fid v =
+  match Hashtbl.find_opt tbl fid with
+  | None -> false
+  | Some vs -> List.memq v vs
+
+let add_exit tbl fid v =
+  if not (has_exit tbl fid v) then
+    Hashtbl.replace tbl fid (v :: (Option.value ~default:[] (Hashtbl.find_opt tbl fid)))
+
+(* published tables are immutable (see Fp_sets.with_added): copy on add *)
+let with_exit eng t ~fid v =
+  if has_exit t.tbl fid v then t
+  else begin
+    let tbl = copy_tbl t.tbl in
+    add_exit tbl fid v;
+    release t;
+    alloc eng tbl
+  end
+
+let subset a b =
+  try
+    Hashtbl.iter
+      (fun fid vs ->
+        List.iter (fun v -> if not (has_exit b.tbl fid v) then raise Exit) vs)
+      a.tbl;
+    true
+  with Exit -> false
+
+let size t = Hashtbl.fold (fun _ vs acc -> acc + List.length vs) t.tbl 0
+
+let merge eng primary others =
+  let inputs = primary :: others in
+  let uniq =
+    List.fold_left
+      (fun acc x ->
+        if List.memq x acc then begin
+          release x;
+          acc
+        end
+        else x :: acc)
+      [] inputs
+  in
+  match uniq with
+  | [] -> assert false
+  | [ single ] -> single
+  | _ ->
+      let best =
+        List.fold_left
+          (fun acc x -> if size x > size acc then x else acc)
+          (List.hd uniq) (List.tl uniq)
+      in
+      if List.for_all (fun x -> x == best || subset x best) uniq then begin
+        List.iter (fun x -> if x != best then release x) uniq;
+        best
+      end
+      else begin
+        let tbl = copy_tbl best.tbl in
+        List.iter
+          (fun x ->
+            if x != best then
+              Hashtbl.iter (fun fid vs -> List.iter (add_exit tbl fid) vs) x.tbl)
+          uniq;
+        List.iter release uniq;
+        alloc eng tbl
+      end
+
+let exits t ~fid = Option.value ~default:[] (Hashtbl.find_opt t.tbl fid)
+let entry_count t = size t
+
+let allocations eng = Atomic.get eng.allocs
+let live_words eng = Atomic.get eng.live
+let peak_words eng = Atomic.get eng.peak
+let total_words eng = Atomic.get eng.total

@@ -1,0 +1,45 @@
+(** Per-node non-SP-ancestor tables for the F-Order baseline (general
+    futures, Xu et al. PPoPP'20 style).
+
+    Without the structured-future restriction, knowing that {e some} node
+    of future [F] NSP-precedes [v] is not enough — F-Order must remember,
+    per node [v] and per future [F], the set of [F]'s {e NSP exit points}
+    (create nodes and the put node) from which [v] is reachable; a query
+    [u ≺ v] then scans the stored exits [w] of [u]'s future checking
+    [u ⪯ w] in [F]'s series-parallel order. This full hash-table-per-node
+    representation is precisely the overhead SF-Order's bitmaps avoid
+    (paper Section 4); the two are contrasted by Figure 5 and the
+    ablation bench.
+
+    Same reference-counting / merge-only-when-needed discipline as
+    {!Fp_sets}. ['v] is the exit-position type; physical equality
+    identifies exits. *)
+
+type 'v eng
+type 'v table
+
+val create : unit -> 'v eng
+val empty : 'v eng -> 'v table
+val share : 'v table -> 'v table
+val release : 'v table -> unit
+
+val with_exit : 'v eng -> 'v table -> fid:int -> 'v -> 'v table
+(** Consumes the caller's reference; returns an owned table with [v]
+    added to [fid]'s exit set (no-op if physically present; otherwise by
+    copy — published tables are immutable, like {!Sfr_reach.Fp_sets}). *)
+
+val merge : 'v eng -> 'v table -> 'v table list -> 'v table
+(** Union; consumes all references. Allocates only when no input subsumes
+    the rest. *)
+
+val exits : 'v table -> fid:int -> 'v list
+(** Exit points of future [fid] recorded as reaching this node. *)
+
+val entry_count : 'v table -> int
+
+val allocations : 'v eng -> int
+val live_words : 'v eng -> int
+val peak_words : 'v eng -> int
+val total_words : 'v eng -> int
+(** Cumulative words ever allocated (the Figure 5 retain-everything
+    metric; see {!Sfr_reach.Fp_sets.total_words}). *)

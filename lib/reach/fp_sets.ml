@@ -1,0 +1,190 @@
+module Bitset = Sfr_support.Bitset
+
+type backend = Bitmap | Hashed
+
+type repr = Bits of Bitset.t | Hash of (int, unit) Hashtbl.t
+
+type t = {
+  which : backend;
+  allocs : int Atomic.t;
+  live : int Atomic.t; (* words *)
+  peak : int Atomic.t;
+  total : int Atomic.t; (* cumulative words ever allocated or grown *)
+  mutable empty_table : table option;
+}
+
+and table = { repr : repr; rc : int Atomic.t; eng : t }
+
+(* -- representation helpers ------------------------------------------- *)
+
+let repr_words = function
+  | Bits b -> Bitset.words b + 4
+  | Hash h ->
+      let s = Hashtbl.stats h in
+      s.Hashtbl.num_buckets + (3 * s.Hashtbl.num_bindings) + 6
+
+let repr_mem r i =
+  match r with Bits b -> Bitset.mem b i | Hash h -> Hashtbl.mem h i
+
+let repr_add r i =
+  match r with
+  | Bits b -> Bitset.add b i
+  | Hash h -> if not (Hashtbl.mem h i) then Hashtbl.add h i ()
+
+let repr_iter f = function
+  | Bits b -> Bitset.iter f b
+  | Hash h -> Hashtbl.iter (fun i () -> f i) h
+
+let repr_cardinal = function
+  | Bits b -> Bitset.cardinal b
+  | Hash h -> Hashtbl.length h
+
+let repr_subset a b =
+  match a with
+  | Bits ba -> (
+      match b with
+      | Bits bb -> Bitset.subset ba bb
+      | Hash _ ->
+          let ok = ref true in
+          Bitset.iter (fun i -> if not (repr_mem b i) then ok := false) ba;
+          !ok)
+  | Hash ha ->
+      let ok = ref true in
+      Hashtbl.iter (fun i () -> if not (repr_mem b i) then ok := false) ha;
+      !ok
+
+let repr_fresh which =
+  match which with
+  | Bitmap -> Bits (Bitset.create ())
+  | Hashed -> Hash (Hashtbl.create 8)
+
+let repr_copy = function
+  | Bits b -> Bits (Bitset.copy b)
+  | Hash h -> Hash (Hashtbl.copy h)
+
+(* -- accounting --------------------------------------------------------- *)
+
+let bump_peak eng =
+  let live = Atomic.get eng.live in
+  let rec loop () =
+    let p = Atomic.get eng.peak in
+    if live > p && not (Atomic.compare_and_set eng.peak p live) then loop ()
+  in
+  loop ()
+
+let account_alloc eng tbl =
+  Atomic.incr eng.allocs;
+  let w = repr_words tbl.repr in
+  ignore (Atomic.fetch_and_add eng.live w);
+  ignore (Atomic.fetch_and_add eng.total w);
+  bump_peak eng
+
+let account_free eng tbl =
+  ignore (Atomic.fetch_and_add eng.live (-repr_words tbl.repr))
+
+(* -- API ---------------------------------------------------------------- *)
+
+let alloc_table eng repr =
+  let tbl = { repr; rc = Atomic.make 1; eng } in
+  account_alloc eng tbl;
+  tbl
+
+let create which =
+  let eng =
+    {
+      which;
+      allocs = Atomic.make 0;
+      live = Atomic.make 0;
+      peak = Atomic.make 0;
+      total = Atomic.make 0;
+      empty_table = None;
+    }
+  in
+  (* the canonical empty table: the engine pins one reference forever *)
+  eng.empty_table <- Some (alloc_table eng (repr_fresh which));
+  eng
+
+let backend eng = eng.which
+
+let share tbl =
+  Atomic.incr tbl.rc;
+  tbl
+
+let empty eng =
+  match eng.empty_table with
+  | Some tbl -> share tbl
+  | None -> assert false
+
+let release tbl =
+  let prev = Atomic.fetch_and_add tbl.rc (-1) in
+  if prev = 1 then account_free tbl.eng tbl
+
+let mem tbl i = repr_mem tbl.repr i
+
+(* Tables are immutable once published: a strand state handed to the
+   access history (or collected by a client) may outlive its reference,
+   and gp(v) is a fixed per-node set in the paper's model — so additions
+   always copy. At most one copy per get plus the cp copy per create:
+   within the O(k^2) construction budget of Lemma 3.12. *)
+let with_added eng tbl i =
+  if repr_mem tbl.repr i then tbl
+  else begin
+    let repr = repr_copy tbl.repr in
+    repr_add repr i;
+    release tbl;
+    alloc_table eng repr
+  end
+
+let merge eng primary others =
+  let inputs = primary :: others in
+  (* collapse physically-equal inputs (a strand and its child may share a
+     table); each duplicate surrenders its reference *)
+  let uniq =
+    List.fold_left
+      (fun acc x ->
+        if List.memq x acc then begin
+          release x;
+          acc
+        end
+        else x :: acc)
+      [] inputs
+  in
+  match uniq with
+  | [] -> assert false
+  | [ single ] -> single
+  | _ ->
+      (* a candidate that subsumes all other inputs avoids an allocation
+         (the paper's merge-only-when-necessary rule) *)
+      let best =
+        List.fold_left
+          (fun acc x ->
+            if repr_cardinal x.repr > repr_cardinal acc.repr then x else acc)
+          (List.hd uniq) (List.tl uniq)
+      in
+      let subsumes cand =
+        List.for_all (fun x -> x == cand || repr_subset x.repr cand.repr) uniq
+      in
+      if subsumes best then begin
+        List.iter (fun x -> if x != best then release x) uniq;
+        best
+      end
+      else begin
+        let repr = repr_copy best.repr in
+        List.iter
+          (fun x -> if x != best then repr_iter (fun i -> repr_add repr i) x.repr)
+          uniq;
+        List.iter release uniq;
+        alloc_table eng repr
+      end
+
+let cardinal tbl = repr_cardinal tbl.repr
+
+let elements tbl =
+  let acc = ref [] in
+  repr_iter (fun i -> acc := i :: !acc) tbl.repr;
+  List.sort compare !acc
+
+let allocations eng = Atomic.get eng.allocs
+let live_words eng = Atomic.get eng.live
+let peak_words eng = Atomic.get eng.peak
+let total_words eng = Atomic.get eng.total

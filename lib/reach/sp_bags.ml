@@ -1,0 +1,62 @@
+module Union_find = Sfr_support.Union_find
+module Vec = Sfr_support.Vec
+
+type kind = S | P
+
+type frame = {
+  id : int;
+  elem : int; (* the frame's identity element; starts in its own S-bag *)
+  mutable p_rep : int option; (* representative of the P-bag, if nonempty *)
+}
+
+type t = {
+  uf : Union_find.t;
+  kinds : kind Vec.t; (* indexed by union-find element; valid at reps *)
+  mutable nframes : int;
+}
+
+let new_elem t k =
+  let e = Union_find.make_set t.uf in
+  let i = Vec.push t.kinds k in
+  assert (i = e);
+  e
+
+let create () =
+  let t = { uf = Union_find.create (); kinds = Vec.create ~dummy:S (); nframes = 0 } in
+  let elem = new_elem t S in
+  t.nframes <- 1;
+  (t, { id = 0; elem; p_rep = None })
+
+let spawn_child t =
+  let elem = new_elem t S in
+  let id = t.nframes in
+  t.nframes <- id + 1;
+  { id; elem; p_rep = None }
+
+let child_returned t ~parent ~child =
+  (* S(child) joins P(parent); the child must have implicitly synced *)
+  assert (child.p_rep = None);
+  let child_rep = Union_find.find t.uf child.elem in
+  match parent.p_rep with
+  | None ->
+      Vec.set t.kinds child_rep P;
+      parent.p_rep <- Some child_rep
+  | Some p ->
+      let rep = Union_find.union t.uf p child_rep in
+      Vec.set t.kinds rep P;
+      parent.p_rep <- Some rep
+
+let sync t frame =
+  match frame.p_rep with
+  | None -> ()
+  | Some p ->
+      let rep = Union_find.union t.uf p frame.elem in
+      Vec.set t.kinds rep S;
+      frame.p_rep <- None
+
+let is_serial_with_current t frame =
+  Vec.get t.kinds (Union_find.find t.uf frame.elem) = S
+
+let frame_id frame = frame.id
+
+let words t = Union_find.words t.uf + Vec.words t.kinds + 2

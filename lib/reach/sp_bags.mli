@@ -1,0 +1,40 @@
+(** SP-bags (Feng–Leiserson) sequential series-parallel reachability.
+
+    Substrate for the MultiBags-equivalent sequential detector: run over
+    the pseudo-SP-dag during a left-to-right depth-first execution (create
+    treated as spawn), it answers "is a previous accessor logically
+    parallel with the currently executing strand" in amortized
+    inverse-Ackermann time via union-find bags.
+
+    Each frame (spawn or create task instance, plus the root) owns an
+    S-bag, holding frames that are serially before the current execution
+    point, and a P-bag, holding frames that are logically parallel with
+    it. Returning a child frame moves its S-bag into the parent's P-bag;
+    a sync folds the P-bag into the S-bag.
+
+    This component is inherently sequential — the bag contents are only
+    meaningful relative to the single current execution point, which is
+    why MultiBags cannot run the program in parallel (paper Section 1). *)
+
+type t
+type frame
+
+val create : unit -> t * frame
+(** Structure plus the root frame. *)
+
+val spawn_child : t -> frame
+(** Fresh child frame entering execution (spawn or create). *)
+
+val child_returned : t -> parent:frame -> child:frame -> unit
+(** The (fully executed) child frame's S-bag joins the parent's P-bag. *)
+
+val sync : t -> frame -> unit
+(** Folds the frame's P-bag into its S-bag. *)
+
+val is_serial_with_current : t -> frame -> bool
+(** For an accessor that executed in [frame]: true iff it is serially
+    before the current execution point (its bag is an S-bag); false iff
+    logically parallel (a P-bag). *)
+
+val frame_id : frame -> int
+val words : t -> int

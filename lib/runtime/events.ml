@@ -1,0 +1,85 @@
+type state = ..
+
+type state += Unit_state | Pair_state of state * state
+
+type callbacks = {
+  on_spawn : state -> state * state;
+  on_create : state -> state * state;
+  on_sync : cur:state -> spawned_lasts:state list -> created_firsts:state list -> state;
+  on_put : state -> unit;
+  on_get : cur:state -> put:state -> state;
+  on_returned : cont:state -> child_last:state -> unit;
+  on_read : state -> int -> unit;
+  on_write : state -> int -> unit;
+  on_work : state -> int -> unit;
+}
+
+let null =
+  {
+    on_spawn = (fun _ -> (Unit_state, Unit_state));
+    on_create = (fun _ -> (Unit_state, Unit_state));
+    on_sync = (fun ~cur:_ ~spawned_lasts:_ ~created_firsts:_ -> Unit_state);
+    on_put = ignore;
+    on_get = (fun ~cur:_ ~put:_ -> Unit_state);
+    on_returned = (fun ~cont:_ ~child_last:_ -> ());
+    on_read = (fun _ _ -> ());
+    on_write = (fun _ _ -> ());
+    on_work = (fun _ _ -> ());
+  }
+
+let unpair = function
+  | Pair_state (a, b) -> (a, b)
+  | Unit_state | _ -> invalid_arg "Events.pair: foreign state"
+
+let pair a b =
+  {
+    on_spawn =
+      (fun s ->
+        let sa, sb = unpair s in
+        let ca, ta = a.on_spawn sa and cb, tb = b.on_spawn sb in
+        (Pair_state (ca, cb), Pair_state (ta, tb)));
+    on_create =
+      (fun s ->
+        let sa, sb = unpair s in
+        let ca, ta = a.on_create sa and cb, tb = b.on_create sb in
+        (Pair_state (ca, cb), Pair_state (ta, tb)));
+    on_sync =
+      (fun ~cur ~spawned_lasts ~created_firsts ->
+        let ca, cb = unpair cur in
+        let la = List.map (fun s -> fst (unpair s)) spawned_lasts
+        and lb = List.map (fun s -> snd (unpair s)) spawned_lasts in
+        let fa = List.map (fun s -> fst (unpair s)) created_firsts
+        and fb = List.map (fun s -> snd (unpair s)) created_firsts in
+        Pair_state
+          ( a.on_sync ~cur:ca ~spawned_lasts:la ~created_firsts:fa,
+            b.on_sync ~cur:cb ~spawned_lasts:lb ~created_firsts:fb ));
+    on_put =
+      (fun s ->
+        let sa, sb = unpair s in
+        a.on_put sa;
+        b.on_put sb);
+    on_get =
+      (fun ~cur ~put ->
+        let ca, cb = unpair cur and pa, pb = unpair put in
+        Pair_state (a.on_get ~cur:ca ~put:pa, b.on_get ~cur:cb ~put:pb));
+    on_returned =
+      (fun ~cont ~child_last ->
+        let ca, cb = unpair cont and la, lb = unpair child_last in
+        a.on_returned ~cont:ca ~child_last:la;
+        b.on_returned ~cont:cb ~child_last:lb);
+    on_read =
+      (fun s loc ->
+        let sa, sb = unpair s in
+        a.on_read sa loc;
+        b.on_read sb loc);
+    on_write =
+      (fun s loc ->
+        let sa, sb = unpair s in
+        a.on_write sa loc;
+        b.on_write sb loc);
+    on_work =
+      (fun s n ->
+        let sa, sb = unpair s in
+        a.on_work sa n;
+        b.on_work sb n);
+  }

@@ -1,0 +1,51 @@
+(** The event interface between executors and their clients (race
+    detectors, the dag recorder, or nothing at all for baseline runs).
+
+    An executor threads one client {e state} per strand — the paper's
+    "node" — through the computation: control constructs consume the
+    current strand's state and produce states for the strands they begin.
+    This mirrors exactly the instrumentation points the paper's modified
+    Cilk-F runtime exposes (spawn/sync/create/get hooks plus a memory
+    access hook from compiler instrumentation).
+
+    [state] is an extensible variant: each client declares its own
+    constructor, so clients compose ([pair]) without existential
+    gymnastics and without [Obj]. *)
+
+type state = ..
+
+type state += Unit_state | Pair_state of state * state
+
+type callbacks = {
+  on_spawn : state -> state * state;
+      (** [(child_first, continuation)] for a [spawn]. *)
+  on_create : state -> state * state;
+      (** [(future_first, continuation)] for a [create]. The child state
+          identifies the new future dag. *)
+  on_sync : cur:state -> spawned_lasts:state list -> created_firsts:state list -> state;
+      (** Explicit or frame-end implicit sync. [spawned_lasts] are the
+          final states of the spawned children being joined;
+          [created_firsts] are the first states of futures created in this
+          sync block (they fake-join in the pseudo-SP-dag only). Called
+          only when at least one list is nonempty. *)
+  on_put : state -> unit;
+      (** The current strand is the put node — [last(F)] of its future. *)
+  on_get : cur:state -> put:state -> state;
+      (** A get: [put] is the gotten future's final (put-node) state. *)
+  on_returned : cont:state -> child_last:state -> unit;
+      (** A spawned or created child task finished and its completion is
+          now ordered before the frame's continuation. In a serial
+          execution this fires at the depth-first return point — the hook
+          the sequential (MultiBags-style) detector's bag moves need. *)
+  on_read : state -> int -> unit;  (** memory read at a location. *)
+  on_write : state -> int -> unit;  (** memory write at a location. *)
+  on_work : state -> int -> unit;  (** abstract compute ticks (cost model). *)
+}
+
+val null : callbacks
+(** No-op client (baseline executions); threads [Unit_state]. *)
+
+val pair : callbacks -> callbacks -> callbacks
+(** Run two clients side by side; threads [Pair_state]. Useful to record
+    the dag while race detecting, e.g. for post-mortem scheduling
+    simulation of the same run. *)

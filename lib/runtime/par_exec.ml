@@ -1,0 +1,319 @@
+type task = unit -> unit
+
+(* -- per-worker deque: LIFO at the bottom (owner), FIFO steals at the
+   top. A mutex-protected ring buffer: simple, correct, and uncontended
+   enough for the worker counts we target (the paper's bottleneck is the
+   access-history locking, not the deques). *)
+module Deque = struct
+  type t = {
+    mu : Mutex.t;
+    mutable items : task array;
+    mutable head : int; (* steal end *)
+    mutable tail : int; (* owner end; valid range is [head, tail) *)
+  }
+
+  let nop : task = fun () -> ()
+
+  let create () = { mu = Mutex.create (); items = Array.make 64 nop; head = 0; tail = 0 }
+
+  let grow d =
+    let n = Array.length d.items in
+    let items = Array.make (2 * n) nop in
+    let len = d.tail - d.head in
+    for i = 0 to len - 1 do
+      items.(i) <- d.items.((d.head + i) mod n)
+    done;
+    d.items <- items;
+    d.head <- 0;
+    d.tail <- len
+
+  let push_bottom d x =
+    Mutex.lock d.mu;
+    if d.tail - d.head = Array.length d.items then grow d;
+    d.items.(d.tail mod Array.length d.items) <- x;
+    d.tail <- d.tail + 1;
+    Mutex.unlock d.mu
+
+  let pop_bottom d =
+    Mutex.lock d.mu;
+    let r =
+      if d.tail = d.head then None
+      else begin
+        d.tail <- d.tail - 1;
+        let i = d.tail mod Array.length d.items in
+        let x = d.items.(i) in
+        d.items.(i) <- nop;
+        Some x
+      end
+    in
+    Mutex.unlock d.mu;
+    r
+
+  let steal_top d =
+    Mutex.lock d.mu;
+    let r =
+      if d.tail = d.head then None
+      else begin
+        let i = d.head mod Array.length d.items in
+        let x = d.items.(i) in
+        d.items.(i) <- nop;
+        d.head <- d.head + 1;
+        Some x
+      end
+    in
+    Mutex.unlock d.mu;
+    r
+end
+
+type frame = {
+  fmu : Mutex.t;
+  mutable outstanding : int; (* spawned children not yet returned *)
+  mutable spawned_lasts : Events.state list;
+  mutable created_firsts : Events.state list;
+  mutable pending_sync : task option;
+}
+
+let new_frame () =
+  {
+    fmu = Mutex.create ();
+    outstanding = 0;
+    spawned_lasts = [];
+    created_firsts = [];
+    pending_sync = None;
+  }
+
+(* Domain-local worker identity and current strand state. *)
+let worker_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
+let cur_key : Events.state ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref Events.Unit_state)
+
+let get_cur () = !(Domain.DLS.get cur_key)
+let set_cur s = Domain.DLS.get cur_key := s
+
+type sched = {
+  cb : Events.callbacks;
+  deques : Deque.t array;
+  live : int Atomic.t; (* pushed-but-unfinished task closures *)
+  quiescent : bool Atomic.t;
+  failure : exn option Atomic.t;
+}
+
+let push_task sched t =
+  let w = Domain.DLS.get worker_key in
+  let w = if w >= 0 then w else 0 in
+  Atomic.incr sched.live;
+  Deque.push_bottom sched.deques.(w) t
+
+(* A spawned child finished: deliver its last state to the parent frame
+   and wake a parked sync if this was the last outstanding child. *)
+let child_returned_to sched frame child_last =
+  Mutex.lock frame.fmu;
+  frame.spawned_lasts <- child_last :: frame.spawned_lasts;
+  frame.outstanding <- frame.outstanding - 1;
+  let wake =
+    if frame.outstanding = 0 then begin
+      let w = frame.pending_sync in
+      frame.pending_sync <- None;
+      w
+    end
+    else None
+  in
+  Mutex.unlock frame.fmu;
+  match wake with Some go -> push_task sched go | None -> ()
+
+(* Emit the on_sync event for this frame if there is anything to join. *)
+let emit_sync sched frame ~pre_state =
+  Mutex.lock frame.fmu;
+  let sp = frame.spawned_lasts and crf = frame.created_firsts in
+  frame.spawned_lasts <- [];
+  frame.created_firsts <- [];
+  Mutex.unlock frame.fmu;
+  if sp <> [] || crf <> [] then
+    set_cur
+      (sched.cb.Events.on_sync ~cur:pre_state ~spawned_lasts:sp
+         ~created_firsts:crf)
+  else set_cur pre_state
+
+(* Run one frame body (which must end by performing Sync and then its own
+   epilogue) under the effect handler. Suspensions abandon the handler:
+   match_with returns () and the worker moves on; resumption re-enters the
+   captured continuation from a fresh task. *)
+let rec exec_frame sched (body : frame -> unit) =
+  let frame = new_frame () in
+  Effect.Deep.match_with body frame
+    {
+      retc = Fun.id;
+      exnc = raise;
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Program.Spawn f ->
+              Some
+                (fun (k : (b, _) Effect.Deep.continuation) ->
+                  let child_state, cont_state = sched.cb.Events.on_spawn (get_cur ()) in
+                  Mutex.lock frame.fmu;
+                  frame.outstanding <- frame.outstanding + 1;
+                  Mutex.unlock frame.fmu;
+                  push_task sched (fun () ->
+                      set_cur child_state;
+                      exec_frame sched (fun _child_frame ->
+                          f ();
+                          Effect.perform Program.Sync;
+                          let child_last = get_cur () in
+                          sched.cb.Events.on_returned ~cont:cont_state ~child_last;
+                          child_returned_to sched frame child_last));
+                  set_cur cont_state;
+                  Effect.Deep.continue k ())
+          | Program.Create f ->
+              Some
+                (fun (k : (b, _) Effect.Deep.continuation) ->
+                  let h = Program.Handle.make () in
+                  let child_state, cont_state = sched.cb.Events.on_create (get_cur ()) in
+                  Mutex.lock frame.fmu;
+                  frame.created_firsts <- child_state :: frame.created_firsts;
+                  Mutex.unlock frame.fmu;
+                  push_task sched (fun () ->
+                      set_cur child_state;
+                      exec_frame sched (fun _child_frame ->
+                          let r = f () in
+                          Effect.perform Program.Sync;
+                          let last = get_cur () in
+                          sched.cb.Events.on_put last;
+                          Program.Handle.fulfil h r ~last;
+                          sched.cb.Events.on_returned ~cont:cont_state
+                            ~child_last:last));
+                  set_cur cont_state;
+                  Effect.Deep.continue k h)
+          | Program.Sync ->
+              Some
+                (fun (k : (b, _) Effect.Deep.continuation) ->
+                  let pre_state = get_cur () in
+                  Mutex.lock frame.fmu;
+                  if frame.outstanding = 0 then begin
+                    Mutex.unlock frame.fmu;
+                    emit_sync sched frame ~pre_state;
+                    Effect.Deep.continue k ()
+                  end
+                  else begin
+                    frame.pending_sync <-
+                      Some
+                        (fun () ->
+                          emit_sync sched frame ~pre_state;
+                          Effect.Deep.continue k ());
+                    Mutex.unlock frame.fmu
+                    (* abandon: the worker returns to its scheduler loop *)
+                  end)
+          | Program.Get h ->
+              Some
+                (fun (k : (b, _) Effect.Deep.continuation) ->
+                  Program.Handle.claim_touch h;
+                  let saved = get_cur () in
+                  let resume () =
+                    set_cur
+                      (sched.cb.Events.on_get ~cur:saved
+                         ~put:(Program.Handle.last_exn h));
+                    Effect.Deep.continue k (Program.Handle.result_exn h)
+                  in
+                  if Program.Handle.add_waiter h (fun () -> push_task sched resume)
+                  then () (* parked until the future is fulfilled *)
+                  else resume ())
+          | Program.Read loc ->
+              Some
+                (fun (k : (b, _) Effect.Deep.continuation) ->
+                  sched.cb.Events.on_read (get_cur ()) loc;
+                  Effect.Deep.continue k ())
+          | Program.Write loc ->
+              Some
+                (fun (k : (b, _) Effect.Deep.continuation) ->
+                  sched.cb.Events.on_write (get_cur ()) loc;
+                  Effect.Deep.continue k ())
+          | Program.Work n ->
+              Some
+                (fun (k : (b, _) Effect.Deep.continuation) ->
+                  sched.cb.Events.on_work (get_cur ()) n;
+                  Effect.Deep.continue k ())
+          | _ -> None);
+    }
+
+let find_task sched me =
+  match Deque.pop_bottom sched.deques.(me) with
+  | Some t -> Some t
+  | None ->
+      let n = Array.length sched.deques in
+      let rec try_steal i =
+        if i >= n then None
+        else
+          let victim = (me + 1 + i) mod n in
+          match Deque.steal_top sched.deques.(victim) with
+          | Some t -> Some t
+          | None -> try_steal (i + 1)
+      in
+      try_steal 0
+
+let worker_loop sched me =
+  Domain.DLS.set worker_key me;
+  let idle_spins = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    if Atomic.get sched.quiescent || Atomic.get sched.failure <> None then
+      continue_ := false
+    else begin
+      match find_task sched me with
+      | Some t ->
+          idle_spins := 0;
+          (try t ()
+           with e ->
+             ignore
+               (Atomic.compare_and_set sched.failure None (Some e)));
+          if Atomic.fetch_and_add sched.live (-1) = 1 then
+            Atomic.set sched.quiescent true
+      | None ->
+          incr idle_spins;
+          if !idle_spins < 100 then Domain.cpu_relax ()
+          else begin
+            idle_spins := 0;
+            Unix.sleepf 1e-4
+          end
+    end
+  done
+
+let run ?workers cb ~root main =
+  let nw =
+    match workers with
+    | Some n when n >= 1 -> n
+    | Some _ -> invalid_arg "Par_exec.run: workers must be >= 1"
+    | None -> Domain.recommended_domain_count ()
+  in
+  let sched =
+    {
+      cb;
+      deques = Array.init nw (fun _ -> Deque.create ());
+      live = Atomic.make 0;
+      quiescent = Atomic.make false;
+      failure = Atomic.make None;
+    }
+  in
+  let result = ref None in
+  let final = ref root in
+  (* the root task *)
+  Atomic.incr sched.live;
+  Deque.push_bottom sched.deques.(0) (fun () ->
+      set_cur root;
+      exec_frame sched (fun _root_frame ->
+          let r = main () in
+          Effect.perform Program.Sync;
+          let last = get_cur () in
+          cb.Events.on_put last;
+          result := Some r;
+          final := last));
+  let others = List.init (nw - 1) (fun i -> Domain.spawn (fun () -> worker_loop sched (i + 1))) in
+  worker_loop sched 0;
+  List.iter Domain.join others;
+  (match Atomic.get sched.failure with Some e -> raise e | None -> ());
+  match !result with
+  | Some r -> (r, !final)
+  | None ->
+      raise
+        (Program.Unstructured_use
+           "parallel execution reached quiescence without completing: the \
+            program deadlocks (futures are not structured)")

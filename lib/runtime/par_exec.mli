@@ -1,0 +1,30 @@
+(** Multicore work-stealing executor over OCaml 5 domains.
+
+    The substrate the parallel detectors (SF-Order, F-Order) run on — the
+    analogue of the paper's extended Cilk-F runtime. Scheduling is
+    help-first: a spawn/create pushes the child task onto the worker's
+    deque (stealable) and the parent continues; [sync] and [get] suspend
+    by parking their one-shot continuation and returning the worker to the
+    scheduler, to be re-enqueued when the join count reaches zero / the
+    future is fulfilled. Help-first explores schedules a depth-first
+    execution never produces, which is exactly what the on-the-fly
+    detectors must be robust to.
+
+    Client callbacks must be thread-safe; {!Events.null} and the detectors
+    in [sfr_detect] are. One [run] at a time per process (worker identity
+    lives in domain-local storage).
+
+    On a deadlocked program (possible only with unstructured future use)
+    [run] raises {!Program.Unstructured_use} instead of hanging. *)
+
+val run :
+  ?workers:int ->
+  Events.callbacks ->
+  root:Events.state ->
+  (unit -> 'a) ->
+  'a * Events.state
+(** [run ~workers callbacks ~root main] — defaults to
+    [Domain.recommended_domain_count ()] workers. Returns [main]'s result
+    and the root computation's final (put-node) state. Returns only after
+    {e all} tasks, including created futures whose handles escaped, have
+    completed. *)

@@ -1,0 +1,28 @@
+let run ~iterations ~stages body =
+  if iterations <= 0 || stages <= 0 then
+    invalid_arg "Pipeline.run: iterations and stages must be positive";
+  let slots : int Program.handle option Atomic.t array =
+    Array.init (iterations * stages) (fun _ -> Atomic.make None)
+  in
+  let slot i j = slots.((i * stages) + j) in
+  let rec cell i j () =
+    (* cross edge: stage j of the previous iteration must have finished.
+       The slot is always populated: (i-1,j)'s handle is published by
+       (i-1,j-1) before it creates (i,j-1)... which creates us (see the
+       Smith-Waterman wiring argument in lib/workloads/sw.ml). *)
+    (if i > 0 && j > 0 then
+       match Atomic.get (slot (i - 1) j) with
+       | Some h -> ignore (Program.get h)
+       | None -> assert false);
+    body ~iter:i ~stage:j;
+    if j = 0 then begin
+      (* publish our column-1 handle before starting the iteration below *)
+      if stages > 1 then Atomic.set (slot i 1) (Some (Program.create (cell i 1)));
+      if i + 1 < iterations then
+        Atomic.set (slot (i + 1) 0) (Some (Program.create (cell (i + 1) 0)))
+    end
+    else if j + 1 < stages then
+      Atomic.set (slot i (j + 1)) (Some (Program.create (cell i (j + 1))));
+    0
+  in
+  Atomic.set (slot 0 0) (Some (Program.create (cell 0 0)))

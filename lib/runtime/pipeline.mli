@@ -1,0 +1,29 @@
+(** Pipeline parallelism as a structured-futures skeleton.
+
+    The paper (footnote 5) notes race detection handles pipeline
+    parallelism like fork-join, and (Section 1) that structured futures
+    generate a program class {e containing} pipeline parallelism. This
+    combinator realizes that containment: a Cilk-P-style stage grid
+    lowered onto structured futures, one future per (iteration, stage)
+    cell, wired exactly like the Smith-Waterman wavefront —
+    cell [(i,j)] is created by [(i,j-1)] (ordering the within-iteration
+    serial stages via the create path) and gets the handle of [(i-1,j)]
+    (the cross edge ordering stage [j] across iterations); column-0 cells
+    chain downward. Every handle is touched at most once and every get is
+    reachable from its create's continuation, so programs built with this
+    skeleton stay structured (checked by {!Sfr_detect.Discipline} in the
+    tests) and race detectors order the stages exactly as a pipeline
+    scheduler would.
+
+    Completion: [run] returns once the wavefront is wired; under the
+    serial executor everything has then already run, and under
+    {!Par_exec} all cells complete before [Par_exec.run] returns
+    (quiescence). Code sequenced after [run] inside the same program must
+    not consume stage outputs — fold consumption into a final stage
+    instead. *)
+
+val run : iterations:int -> stages:int -> (iter:int -> stage:int -> unit) -> unit
+(** [run ~iterations ~stages body] executes [body ~iter ~stage] for every
+    cell of the grid under the pipeline's dependence order: after
+    [(iter, stage-1)] and [(iter-1, stage)].
+    @raise Invalid_argument if either dimension is not positive. *)

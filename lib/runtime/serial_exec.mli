@@ -1,0 +1,17 @@
+(** Depth-first serial executor.
+
+    Runs the program exactly as a one-core Cilk execution would: a spawned
+    or created child runs to completion before the continuation (the
+    left-to-right depth-first traversal of the dag). Structured-futures
+    programs never block at [sync] or [get] under this schedule (paper
+    Section 2); a [get] on an unfinished future therefore proves the
+    program unstructured and raises {!Program.Unstructured_use}.
+
+    This is the execution the sequential (MultiBags-style) detector
+    requires, and the baseline for one-core timings. *)
+
+val run : Events.callbacks -> root:Events.state -> (unit -> 'a) -> 'a * Events.state
+(** [run callbacks ~root main] executes [main], threading client states
+    from [root]; returns the result and the computation's final state.
+    The root frame gets a frame-end implicit sync and a put event, like
+    every future task. *)

@@ -1,0 +1,89 @@
+module Dag = Sfr_dag.Dag
+
+(* array-based binary min-heap of (finish_time, node) *)
+module Heap = struct
+  type t = { mutable data : (int * int) array; mutable len : int }
+
+  let create () = { data = Array.make 64 (0, 0); len = 0 }
+  let is_empty h = h.len = 0
+
+  let push h x =
+    if h.len = Array.length h.data then begin
+      let data = Array.make (2 * h.len) (0, 0) in
+      Array.blit h.data 0 data 0 h.len;
+      h.data <- data
+    end;
+    h.data.(h.len) <- x;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.data.(p) in
+      h.data.(p) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    h.data.(0) <- h.data.(h.len);
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.len && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+      if r < h.len && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = h.data.(!smallest) in
+        h.data.(!smallest) <- h.data.(!i);
+        h.data.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue_ := false
+    done;
+    top
+end
+
+let makespan ?cost t ~workers =
+  if workers < 1 then invalid_arg "Sim_sched.makespan: workers must be >= 1";
+  let cost = match cost with Some f -> f | None -> fun v -> 1 + Dag.cost_of t v in
+  let n = Dag.n_nodes t in
+  let indegree = Array.make n 0 in
+  for v = 0 to n - 1 do
+    indegree.(v) <- List.length (Dag.preds t v)
+  done;
+  let ready = Queue.create () in
+  for v = 0 to n - 1 do
+    if indegree.(v) = 0 then Queue.push v ready
+  done;
+  let running = Heap.create () in
+  let idle = ref workers in
+  let now = ref 0 in
+  let finished = ref 0 in
+  let final = ref 0 in
+  while !finished < n do
+    (* start as many ready nodes as there are idle workers *)
+    while !idle > 0 && not (Queue.is_empty ready) do
+      let v = Queue.pop ready in
+      Heap.push running (!now + cost v, v);
+      decr idle
+    done;
+    (* advance to the next completion *)
+    assert (not (Heap.is_empty running));
+    let t_done, v = Heap.pop running in
+    now := t_done;
+    if t_done > !final then final := t_done;
+    incr idle;
+    incr finished;
+    List.iter
+      (fun (_, w) ->
+        indegree.(w) <- indegree.(w) - 1;
+        if indegree.(w) = 0 then Queue.push w ready)
+      (Dag.succs t v)
+  done;
+  !final
+
+let speedup t ~workers =
+  float_of_int (makespan t ~workers:1) /. float_of_int (makespan t ~workers)

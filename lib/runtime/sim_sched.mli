@@ -1,0 +1,18 @@
+(** Deterministic P-worker greedy scheduling simulation over a recorded
+    dag — the substitution for the paper's 20-core testbed (DESIGN.md
+    §5.1) used to produce the T_P columns of Figure 4.
+
+    Classic list scheduling: a node becomes ready when all its
+    predecessors (including get edges) have finished; any idle worker
+    picks any ready node; a node occupies its worker for its recorded
+    cost. Greedy schedules satisfy Brent's bounds,
+    [max(T1/P, T∞) ≤ T_P ≤ T1/P + T∞], so simulated speedups carry the
+    work/span structure of the actual computation. *)
+
+val makespan : ?cost:(Sfr_dag.Dag.node -> int) -> Sfr_dag.Dag.t -> workers:int -> int
+(** Completion time in cost units. [cost] defaults to
+    [1 + Dag.cost_of t v] (each strand pays one unit of control overhead
+    plus its recorded access/work cost). [workers >= 1]. *)
+
+val speedup : Sfr_dag.Dag.t -> workers:int -> float
+(** [makespan 1 / makespan P]. *)

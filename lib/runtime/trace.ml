@@ -1,0 +1,91 @@
+module Dag = Sfr_dag.Dag
+
+type Events.state += Node of Dag.node
+
+type access = { node : Dag.node; loc : int; is_write : bool }
+
+type t = {
+  dag : Dag.t;
+  root : Dag.node;
+  reads : int Atomic.t;
+  writes : int Atomic.t;
+  log : bool;
+  log_mu : Mutex.t;
+  mutable log_items : access list;
+}
+
+let node_of = function
+  | Node v -> v
+  | _ -> invalid_arg "Trace.node_of: foreign state"
+
+let make ?(log_accesses = false) () =
+  let dag, root = Dag.create () in
+  let t =
+    {
+      dag;
+      root;
+      reads = Atomic.make 0;
+      writes = Atomic.make 0;
+      log = log_accesses;
+      log_mu = Mutex.create ();
+      log_items = [];
+    }
+  in
+  let log_access node loc is_write =
+    if t.log then begin
+      Mutex.lock t.log_mu;
+      t.log_items <- { node; loc; is_write } :: t.log_items;
+      Mutex.unlock t.log_mu
+    end
+  in
+  let callbacks =
+    {
+      Events.on_spawn =
+        (fun cur ->
+          let child, cont = Dag.spawn dag ~cur:(node_of cur) in
+          (Node child, Node cont));
+      on_create =
+        (fun cur ->
+          let child, cont, _fid = Dag.create_future dag ~cur:(node_of cur) in
+          (Node child, Node cont));
+      on_sync =
+        (fun ~cur ~spawned_lasts ~created_firsts ->
+          let s =
+            Dag.sync dag ~cur:(node_of cur)
+              ~spawned_lasts:(List.map node_of spawned_lasts)
+              ~created:
+                (List.map (fun st -> Dag.future_of dag (node_of st)) created_firsts)
+          in
+          Node s);
+      on_put = (fun cur -> Dag.put dag ~cur:(node_of cur));
+      on_get =
+        (fun ~cur ~put ->
+          let future = Dag.future_of dag (node_of put) in
+          Node (Dag.get dag ~cur:(node_of cur) ~future));
+      on_returned = (fun ~cont:_ ~child_last:_ -> ());
+      on_read =
+        (fun cur loc ->
+          Atomic.incr t.reads;
+          let v = node_of cur in
+          Dag.add_cost dag v 1;
+          log_access v loc false);
+      on_write =
+        (fun cur loc ->
+          Atomic.incr t.writes;
+          let v = node_of cur in
+          Dag.add_cost dag v 1;
+          log_access v loc true);
+      on_work = (fun cur n -> Dag.add_cost dag (node_of cur) n);
+    }
+  in
+  (t, callbacks, Node root)
+
+let dag t = t.dag
+let reads t = Atomic.get t.reads
+let writes t = Atomic.get t.writes
+
+let accesses t =
+  Mutex.lock t.log_mu;
+  let items = t.log_items in
+  Mutex.unlock t.log_mu;
+  items

@@ -1,0 +1,26 @@
+(** Dag-recording client: threads {!Dag} nodes as strand states, so any
+    execution (serial or parallel) leaves behind the computation dag with
+    per-strand costs, plus the access counts Figure 3 reports.
+
+    Compose with a detector via {!Events.pair} to record the dag of a
+    detected run, or use alone for baseline characterization. *)
+
+type Events.state += Node of Sfr_dag.Dag.node
+
+type t
+
+type access = { node : Sfr_dag.Dag.node; loc : int; is_write : bool }
+
+val make : ?log_accesses:bool -> unit -> t * Events.callbacks * Events.state
+(** Recorder, its callbacks, and the root state. With [log_accesses] every
+    read/write is appended to a log — the input of the naive ground-truth
+    race detector (test oracle). *)
+
+val dag : t -> Sfr_dag.Dag.t
+val reads : t -> int
+val writes : t -> int
+val accesses : t -> access list
+(** In no particular order (empty unless [log_accesses] was set). *)
+
+val node_of : Events.state -> Sfr_dag.Dag.node
+(** @raise Invalid_argument on a foreign state. *)

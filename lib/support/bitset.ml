@@ -1,0 +1,87 @@
+let bits_per_word = Sys.int_size (* 63 on 64-bit platforms *)
+
+type t = { mutable words : int array }
+
+let words_for n = (n + bits_per_word - 1) / bits_per_word
+
+let create ?(capacity = 0) () = { words = Array.make (max 1 (words_for capacity)) 0 }
+
+let ensure s w =
+  let n = Array.length s.words in
+  if w >= n then begin
+    let words = Array.make (max (w + 1) (2 * n)) 0 in
+    Array.blit s.words 0 words 0 n;
+    s.words <- words
+  end
+
+let mem s i =
+  let w = i / bits_per_word in
+  w < Array.length s.words
+  && s.words.(w) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add s i =
+  let w = i / bits_per_word in
+  ensure s w;
+  s.words.(w) <- s.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let singleton i =
+  let s = create ~capacity:(i + 1) () in
+  add s i;
+  s
+
+let remove s i =
+  let w = i / bits_per_word in
+  if w < Array.length s.words then
+    s.words.(w) <- s.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let popcount x =
+  let rec loop x acc = if x = 0 then acc else loop (x land (x - 1)) (acc + 1) in
+  loop x 0
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
+
+let is_empty s = Array.for_all (fun w -> w = 0) s.words
+
+let union_into ~dst src =
+  ensure dst (Array.length src.words - 1);
+  Array.iteri (fun i w -> if w <> 0 then dst.words.(i) <- dst.words.(i) lor w) src.words
+
+let copy s = { words = Array.copy s.words }
+
+let subset a b =
+  let nb = Array.length b.words in
+  let ok = ref true in
+  Array.iteri
+    (fun i w ->
+      if w <> 0 && (i >= nb || w land lnot b.words.(i) <> 0) then ok := false)
+    a.words;
+  !ok
+
+let equal a b = subset a b && subset b a
+
+let each_side_has_private_bit a b = not (subset a b) && not (subset b a)
+
+let iter f s =
+  Array.iteri
+    (fun wi w ->
+      if w <> 0 then
+        for b = 0 to bits_per_word - 1 do
+          if w land (1 lsl b) <> 0 then f ((wi * bits_per_word) + b)
+        done)
+    s.words
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let elements s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let words s = Array.length s.words
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    (elements s)

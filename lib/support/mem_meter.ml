@@ -1,0 +1,16 @@
+let word_bytes = Sys.word_size / 8
+
+let bytes_of_words w = w * word_bytes
+let mib_of_words w = float_of_int (bytes_of_words w) /. (1024.0 *. 1024.0)
+let gib_of_words w = float_of_int (bytes_of_words w) /. (1024.0 *. 1024.0 *. 1024.0)
+
+let pp_bytes ppf w =
+  let b = float_of_int (bytes_of_words w) in
+  if b < 1024.0 then Format.fprintf ppf "%.0f B" b
+  else if b < 1024.0 ** 2.0 then Format.fprintf ppf "%.2f KiB" (b /. 1024.0)
+  else if b < 1024.0 ** 3.0 then Format.fprintf ppf "%.2f MiB" (b /. (1024.0 ** 2.0))
+  else Format.fprintf ppf "%.2f GiB" (b /. (1024.0 ** 3.0))
+
+let heap_live_words () =
+  let stat = Gc.full_major (); Gc.stat () in
+  stat.Gc.live_words

@@ -1,0 +1,14 @@
+(** Memory accounting for reachability structures (Figure 5).
+
+    Detectors self-report the live machine words of their reachability data
+    structures; this module converts and formats those counts, and can also
+    sample GC-level heap deltas as a cross-check. *)
+
+val bytes_of_words : int -> int
+val mib_of_words : int -> float
+val gib_of_words : int -> float
+val pp_bytes : Format.formatter -> int -> unit
+(** Human-readable: picks B / KiB / MiB / GiB. *)
+
+val heap_live_words : unit -> int
+(** Live words on the OCaml heap right now (forces a full major GC). *)

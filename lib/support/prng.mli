@@ -1,0 +1,23 @@
+(** Deterministic splittable pseudo-random numbers (SplitMix64).
+
+    Workload generators and synthetic inputs must be reproducible across
+    runs and independent of scheduling, so every benchmark seeds its own
+    generator instead of using the global [Random] state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] — the same seed always yields the same stream. *)
+
+val split : t -> t
+(** An independent generator derived from (and advancing) [t]; used to give
+    parallel subtasks deterministic private streams. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val bits64 : t -> int64
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool

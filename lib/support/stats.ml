@@ -1,0 +1,38 @@
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+      let m = mean xs in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+      sqrt (ss /. float_of_int (List.length xs - 1))
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> nan
+  | sorted ->
+      let n = List.length sorted in
+      let nth i = List.nth sorted i in
+      if n mod 2 = 1 then nth (n / 2) else (nth ((n / 2) - 1) +. nth (n / 2)) /. 2.0
+
+let min_max = function
+  | [] -> (nan, nan)
+  | x :: xs ->
+      List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) xs
+
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let result = f () in
+  (result, now () -. t0)
+
+let repeat_timed n f =
+  if n <= 0 then invalid_arg "Stats.repeat_timed: n must be positive";
+  let rec loop i times =
+    let result, dt = time f in
+    if i >= n then (result, List.rev (dt :: times)) else loop (i + 1) (dt :: times)
+  in
+  loop 1 []

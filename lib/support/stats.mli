@@ -1,0 +1,14 @@
+(** Small numeric summaries for benchmark reporting. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+val median : float list -> float
+val min_max : float list -> float * float
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with elapsed wall-clock
+    seconds ([Unix.gettimeofday]). *)
+
+val repeat_timed : int -> (unit -> 'a) -> 'a * float list
+(** [repeat_timed n f] runs [f] n times, returning the last result and all
+    elapsed times. The paper averages five runs per data point. *)

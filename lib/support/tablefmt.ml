@@ -1,0 +1,79 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string option;
+  columns : (string * align) list;
+  mutable rows : row list; (* reverse order *)
+}
+
+let create ?title columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Tablefmt.add_row: cell count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let headers = List.map fst t.columns in
+  (* a trailing separator would duplicate the closing rule *)
+  let rows =
+    match t.rows with Separator :: rest -> List.rev rest | rows -> List.rev rows
+  in
+  let widths =
+    List.mapi
+      (fun i (h, _) ->
+        List.fold_left
+          (fun acc row ->
+            match row with
+            | Separator -> acc
+            | Cells cells -> max acc (String.length (List.nth cells i)))
+          (String.length h) rows)
+      t.columns
+  in
+  let buf = Buffer.create 1024 in
+  let line ch =
+    List.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) ch)) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let emit_cells cells =
+    List.iteri
+      (fun i cell ->
+        let _, align = List.nth t.columns i in
+        Buffer.add_string buf ("| " ^ pad align (List.nth widths i) cell ^ " "))
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  (match t.title with
+  | Some title -> Buffer.add_string buf (title ^ "\n")
+  | None -> ());
+  line '-';
+  emit_cells headers;
+  line '=';
+  List.iter (function Separator -> line '-' | Cells cells -> emit_cells cells) rows;
+  line '-';
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let cell_times x = Printf.sprintf "(%.2fx)" x
+let cell_speedup x = Printf.sprintf "[%.2fx]" x
+
+let cell_int_compact n =
+  let f = float_of_int n in
+  if n < 100_000 then string_of_int n
+  else
+    let exp = int_of_float (Float.round (log10 f)) in
+    let exp = if 10.0 ** float_of_int exp > f then exp - 1 else exp in
+    Printf.sprintf "%.2fe%d" (f /. (10.0 ** float_of_int exp)) exp

@@ -1,0 +1,29 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    The bench executable reproduces the paper's figures as aligned ASCII
+    tables; this module owns column sizing and alignment. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title columns] — column headers with their alignment. *)
+
+val add_row : t -> string list -> unit
+(** Row cells must match the column count. *)
+
+val add_separator : t -> unit
+
+val render : t -> string
+val print : t -> unit
+
+val cell_float : ?decimals:int -> float -> string
+val cell_times : float -> string
+(** Multiplicative overhead, rendered like the paper: ["(37.84x)"]. *)
+
+val cell_speedup : float -> string
+(** Scalability, rendered like the paper: ["[19.10x]"]. *)
+
+val cell_int_compact : int -> string
+(** Large counts in scientific-ish form: [1.72e10] like Figure 3. *)

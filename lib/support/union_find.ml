@@ -1,0 +1,58 @@
+type t = {
+  mutable parent : int array;
+  mutable rank : int array;
+  mutable next : int;
+}
+
+let create ?(capacity = 16) () =
+  let capacity = max 1 capacity in
+  { parent = Array.make capacity 0; rank = Array.make capacity 0; next = 0 }
+
+let grow t n =
+  let cap = Array.length t.parent in
+  if n > cap then begin
+    let cap' = max n (2 * cap) in
+    let parent = Array.make cap' 0 and rank = Array.make cap' 0 in
+    Array.blit t.parent 0 parent 0 cap;
+    Array.blit t.rank 0 rank 0 cap;
+    t.parent <- parent;
+    t.rank <- rank
+  end
+
+let make_set t =
+  let id = t.next in
+  grow t (id + 1);
+  t.parent.(id) <- id;
+  t.rank.(id) <- 0;
+  t.next <- id + 1;
+  id
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then ra
+  else if t.rank.(ra) < t.rank.(rb) then begin
+    t.parent.(ra) <- rb;
+    rb
+  end
+  else if t.rank.(ra) > t.rank.(rb) then begin
+    t.parent.(rb) <- ra;
+    ra
+  end
+  else begin
+    t.parent.(rb) <- ra;
+    t.rank.(ra) <- t.rank.(ra) + 1;
+    ra
+  end
+
+let same t a b = find t a = find t b
+let count t = t.next
+let words t = (2 * Array.length t.parent) + 4

@@ -1,0 +1,26 @@
+(** Disjoint-set forest with path compression and union by rank.
+
+    Substrate for the SP-bags-style sequential reachability component of the
+    MultiBags-equivalent detector. Amortized inverse-Ackermann per
+    operation — the "almost constant" overhead the paper attributes to
+    Feng–Leiserson-style sequential detectors. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val make_set : t -> int
+(** Allocate a fresh singleton set; returns its element ID (dense, from 0). *)
+
+val find : t -> int -> int
+(** Representative of the set containing the element. *)
+
+val union : t -> int -> int -> int
+(** [union t a b] merges the two sets and returns the new representative. *)
+
+val same : t -> int -> int -> bool
+val count : t -> int
+(** Number of elements allocated so far. *)
+
+val words : t -> int
+(** Approximate memory footprint in machine words. *)

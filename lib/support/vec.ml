@@ -1,0 +1,46 @@
+type 'a t = { dummy : 'a; mutable data : 'a array; mutable len : int }
+
+let create ?(capacity = 8) ~dummy () =
+  { dummy; data = Array.make (max 1 capacity) dummy; len = 0 }
+
+let length t = t.len
+
+let push t x =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let data = Array.make (2 * cap) t.dummy in
+    Array.blit t.data 0 data 0 cap;
+    t.data <- data
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.len - 1
+
+let check t i = if i < 0 || i >= t.len then invalid_arg "Vec: index out of bounds"
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i x =
+  check t i;
+  t.data.(i) <- x
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun x -> acc := f !acc x) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc x -> x :: acc) [] t)
+
+let words t = Array.length t.data + 3

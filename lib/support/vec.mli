@@ -1,0 +1,20 @@
+(** Growable arrays (amortized O(1) push), used for dense per-node tables
+    throughout the dag and detector modules. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [dummy] fills unused slots; it is never observable through the API. *)
+
+val length : 'a t -> int
+val push : 'a t -> 'a -> int
+(** Appends and returns the index of the new element. *)
+
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list
+val words : 'a t -> int
+(** Slots in the backing array (memory accounting; elements not counted). *)

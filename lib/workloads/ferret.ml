@@ -1,0 +1,204 @@
+module Program = Sfr_runtime.Program
+module Prng = Sfr_support.Prng
+
+type params = {
+  queries : int;
+  db : int; (* database size *)
+  dim : int; (* feature dimension *)
+  raw : int; (* raw item length *)
+  buckets : int;
+  topk : int;
+}
+
+let params_of = function
+  | Workload.Tiny -> { queries = 4; db = 32; dim = 8; raw = 16; buckets = 8; topk = 2 }
+  | Workload.Small -> { queries = 12; db = 128; dim = 16; raw = 32; buckets = 16; topk = 3 }
+  | Workload.Default ->
+      { queries = 64; db = 4096; dim = 32; raw = 64; buckets = 32; topk = 4 }
+  | Workload.Large ->
+      { queries = 128; db = 16384; dim = 48; raw = 96; buckets = 64; topk = 8 }
+  | Workload.Paper ->
+      { queries = 64; db = 34_973; dim = 48; raw = 128; buckets = 128; topk = 10 }
+
+let instantiate ?(inject_race = false) scale =
+  let p = params_of scale in
+  (* database feature vectors + LSH-style bucket index, built raw *)
+  let db_feats = Program.alloc (p.db * p.dim) 0 in
+  let rng = Prng.create 0xfe44e7 in
+  for i = 0 to (p.db * p.dim) - 1 do
+    Program.wr_raw db_feats i (Prng.int rng 256)
+  done;
+  let hash_of feat_get =
+    let acc = ref 0 in
+    for d = 0 to p.dim - 1 do
+      acc := (!acc * 31) + feat_get d
+    done;
+    ((!acc mod p.buckets) + p.buckets) mod p.buckets
+  in
+  let bucket_lists = Array.make p.buckets [] in
+  for v = p.db - 1 downto 0 do
+    let h = hash_of (fun d -> Program.rd_raw db_feats ((v * p.dim) + d)) in
+    bucket_lists.(h) <- v :: bucket_lists.(h)
+  done;
+  (* flatten the index into instrumented memory: offsets + members *)
+  let bucket_off = Program.alloc (p.buckets + 1) 0 in
+  let members = Program.alloc p.db 0 in
+  let off = ref 0 in
+  Array.iteri
+    (fun h vs ->
+      Program.wr_raw bucket_off h !off;
+      List.iter
+        (fun v ->
+          Program.wr_raw members !off v;
+          incr off)
+        vs)
+    bucket_lists;
+  Program.wr_raw bucket_off p.buckets !off;
+  (* raw query items *)
+  let raws = Program.alloc (p.queries * p.raw) 0 in
+  for i = 0 to (p.queries * p.raw) - 1 do
+    Program.wr_raw raws i (Prng.int rng 256)
+  done;
+  (* per-query pipeline buffers *)
+  let segmented = Program.alloc (p.queries * p.raw) 0 in
+  let feats = Program.alloc (p.queries * p.dim) 0 in
+  let results = Program.alloc (p.queries * p.topk) 0 in
+  let shared_best = Program.alloc 1 0 in
+  let distance q v =
+    let acc = ref 0 in
+    for d = 0 to p.dim - 1 do
+      let a = Program.rd feats ((q * p.dim) + d) in
+      let b = Program.rd db_feats ((v * p.dim) + d) in
+      acc := !acc + ((a - b) * (a - b))
+    done;
+    !acc
+  in
+  let segment q () =
+    (* smooth the raw signal *)
+    for i = 0 to p.raw - 1 do
+      let x = Program.rd raws ((q * p.raw) + i) in
+      let y = if i = 0 then x else Program.rd raws ((q * p.raw) + i - 1) in
+      Program.wr segmented ((q * p.raw) + i) ((x + y) / 2)
+    done;
+    0
+  in
+  let extract q () =
+    (* bucket the segmented signal into dim histogram-ish features *)
+    for d = 0 to p.dim - 1 do
+      let acc = ref 0 in
+      let per = p.raw / p.dim in
+      for i = 0 to max 0 (per - 1) do
+        acc := !acc + Program.rd segmented ((q * p.raw) + ((d * per) + i))
+      done;
+      Program.wr feats ((q * p.dim) + d) (!acc mod 256)
+    done;
+    0
+  in
+  let index q () =
+    (* probe the query's bucket; return the candidate range *)
+    let h = hash_of (fun d -> Program.rd feats ((q * p.dim) + d)) in
+    let lo = Program.rd bucket_off h in
+    let hi = Program.rd bucket_off (h + 1) in
+    (lo, hi)
+  in
+  let rank q (lo, hi) () =
+    (* rank the bucket candidates (whole database when the bucket is
+       empty, so every query does real ranking work) *)
+    let candidates =
+      if hi > lo then List.init (hi - lo) (fun i -> Program.rd members (lo + i))
+      else List.init p.db Fun.id
+    in
+    let scored = List.map (fun v -> (distance q v, v)) candidates in
+    let sorted = List.sort compare scored in
+    let rec take i = function
+      | (_, v) :: rest when i < p.topk ->
+          Program.wr results ((q * p.topk) + i) v;
+          take (i + 1) rest
+      | _ -> ()
+    in
+    take 0 sorted;
+    (if inject_race then
+       match sorted with
+       | (d, v) :: _ ->
+           (* racy global-best update across queries *)
+           let cur = Program.rd shared_best 0 in
+           if d >= 0 then Program.wr shared_best 0 (max cur v)
+       | [] -> ());
+    0
+  in
+  let program () =
+    let rank_handles =
+      List.init p.queries (fun q ->
+          let h_seg = Program.create (segment q) in
+          let h_ext =
+            Program.create (fun () ->
+                ignore (Program.get h_seg);
+                extract q ())
+          in
+          let h_idx =
+            Program.create (fun () ->
+                ignore (Program.get h_ext);
+                index q ())
+          in
+          Program.create (fun () ->
+              let range = Program.get h_idx in
+              rank q range ()))
+    in
+    (* aggregate: the root gets every rank handle, then reduces serially *)
+    List.iter (fun h -> ignore (Program.get h)) rank_handles;
+    if not inject_race then begin
+      let best = ref 0 in
+      for q = 0 to p.queries - 1 do
+        best := max !best (Program.rd results (q * p.topk))
+      done;
+      Program.wr shared_best 0 !best
+    end
+  in
+  let verify () =
+    (* recompute each query's nearest neighbour serially *)
+    let ok = ref true in
+    for q = 0 to p.queries - 1 do
+      (* reference pipeline on raw OCaml values *)
+      let seg = Array.init p.raw (fun i ->
+          let x = Program.rd_raw raws ((q * p.raw) + i) in
+          let y = if i = 0 then x else Program.rd_raw raws ((q * p.raw) + i - 1) in
+          (x + y) / 2)
+      in
+      let per = p.raw / p.dim in
+      let feat = Array.init p.dim (fun d ->
+          let acc = ref 0 in
+          for i = 0 to max 0 (per - 1) do
+            acc := !acc + seg.((d * per) + i)
+          done;
+          !acc mod 256)
+      in
+      let h = hash_of (fun d -> feat.(d)) in
+      let lo = Program.rd_raw bucket_off h and hi = Program.rd_raw bucket_off (h + 1) in
+      let candidates =
+        if hi > lo then List.init (hi - lo) (fun i -> Program.rd_raw members (lo + i))
+        else List.init p.db Fun.id
+      in
+      let dist v =
+        let acc = ref 0 in
+        for d = 0 to p.dim - 1 do
+          let b = Program.rd_raw db_feats ((v * p.dim) + d) in
+          acc := !acc + ((feat.(d) - b) * (feat.(d) - b))
+        done;
+        acc
+      in
+      let scored = List.sort compare (List.map (fun v -> (!(dist v), v)) candidates) in
+      match scored with
+      | (_, v) :: _ -> if Program.rd_raw results (q * p.topk) <> v then ok := false
+      | [] -> ()
+    done;
+    !ok
+  in
+  { Workload.program; verify; mem_base = Program.base db_feats }
+
+let workload =
+  {
+    Workload.name = "ferret";
+    description = "ferret: 4-stage similarity-search pipeline, a future per stage";
+    instantiate;
+    paper_figure3 = [ "simlarge"; "-"; "5.40e9"; "6.23e8"; "7.40e9"; "256"; "1280" ];
+  }

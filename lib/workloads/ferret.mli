@@ -1,0 +1,15 @@
+(** Ferret content-based similarity search (paper benchmark [ferret],
+    from PARSEC; [simlarge] at paper scale).
+
+    The image database is synthetic (DESIGN.md §5.6): deterministic
+    feature vectors with an LSH-style bucket index. Each query runs the
+    original's four-stage pipeline — segment → extract → index → rank —
+    with one structured future per stage instance chained by gets
+    (4 stages × 64 queries = 256 futures, the Figure 3 count, with
+    ~5 dag nodes per query). The root gets every rank handle and
+    aggregates the global best matches serially.
+
+    [inject_race] makes rank stages write a shared best-match cell
+    directly instead, racing across queries. *)
+
+val workload : Workload.t

@@ -1,0 +1,155 @@
+module Program = Sfr_runtime.Program
+
+type params = {
+  frames : int;
+  points : int;
+  groups : int;
+  img : int; (* image side *)
+  window : int; (* search radius *)
+  template : int; (* template side *)
+}
+
+let params_of = function
+  | Workload.Tiny -> { frames = 3; points = 8; groups = 2; img = 16; window = 1; template = 2 }
+  | Workload.Small -> { frames = 4; points = 16; groups = 4; img = 32; window = 2; template = 3 }
+  | Workload.Default ->
+      { frames = 8; points = 96; groups = 24; img = 64; window = 4; template = 5 }
+  | Workload.Large ->
+      { frames = 10; points = 192; groups = 48; img = 128; window = 5; template = 6 }
+  | Workload.Paper ->
+      { frames = 10; points = 366; groups = 366; img = 512; window = 6; template = 8 }
+
+(* deterministic synthetic "ultrasound" intensity at (x, y) in frame f:
+   a drifting wavy wall pattern *)
+let intensity f x y = ((x * 7) + (y * 13) + (f * 5) + ((x * y) mod 31)) mod 256
+
+(* response of placing the template at (cx, cy): sum of absolute
+   difference between the image and the previous frame's local pattern *)
+let response rd img_arr ~img ~template ~f cx cy =
+  let acc = ref 0 in
+  for dx = 0 to template - 1 do
+    for dy = 0 to template - 1 do
+      let x = (cx + dx) mod img and y = (cy + dy) mod img in
+      let pixel = rd img_arr ((x * img) + y) in
+      let expected = intensity (f - 1) x y in
+      acc := !acc + abs (pixel - expected)
+    done
+  done;
+  !acc
+
+let track_point rd img_arr ~img ~window ~template ~f (px, py) =
+  let best = ref max_int and bx = ref px and by = ref py in
+  for ox = -window to window do
+    for oy = -window to window do
+      let cx = (px + ox + img) mod img and cy = (py + oy + img) mod img in
+      let r = response rd img_arr ~img ~template ~f cx cy in
+      if r < !best then begin
+        best := r;
+        bx := cx;
+        by := cy
+      end
+    done
+  done;
+  (!bx, !by)
+
+let instantiate ?(inject_race = false) scale =
+  let p = params_of scale in
+  (* per-frame images and per-frame point positions (x at 2i, y at 2i+1) *)
+  let images = Array.init p.frames (fun _ -> Program.alloc (p.img * p.img) 0) in
+  let positions = Array.init (p.frames + 1) (fun _ -> Program.alloc (2 * p.points) 0) in
+  (* initial positions, spread deterministically *)
+  for i = 0 to p.points - 1 do
+    Program.wr_raw positions.(0) (2 * i) ((i * 17) mod p.img);
+    Program.wr_raw positions.(0) ((2 * i) + 1) ((i * 29) mod p.img)
+  done;
+  let racy_frame = p.frames / 2 in
+  let group_size = (p.points + p.groups - 1) / p.groups in
+  let run_frame f =
+    let img_arr = images.(f) in
+    (* fork-join image generation: spawn over row halves *)
+    let rec gen_rows lo n =
+      if n <= 8 then
+        for x = lo to lo + n - 1 do
+          for y = 0 to p.img - 1 do
+            Program.wr img_arr ((x * p.img) + y) (intensity f x y)
+          done
+        done
+      else begin
+        let h = n / 2 in
+        Program.spawn (fun () -> gen_rows lo h);
+        gen_rows (lo + h) (n - h);
+        Program.sync ()
+      end
+    in
+    gen_rows 0 p.img;
+    (* track point groups as sub-futures, gotten inside the frame *)
+    let track_group g () =
+      let lo = g * group_size in
+      let hi = min p.points (lo + group_size) - 1 in
+      for i = lo to hi do
+        let px = Program.rd positions.(f) (2 * i) in
+        let py = Program.rd positions.(f) ((2 * i) + 1) in
+        let nx, ny =
+          track_point Program.rd img_arr ~img:p.img ~window:p.window
+            ~template:p.template ~f (px, py)
+        in
+        Program.wr positions.(f + 1) (2 * i) nx;
+        Program.wr positions.(f + 1) ((2 * i) + 1) ny
+      done;
+      0
+    in
+    let handles = List.init p.groups (fun g -> Program.create (track_group g)) in
+    List.iter (fun h -> ignore (Program.get h)) handles;
+    0
+  in
+  let program () =
+    let prev = ref None in
+    for f = 0 to p.frames - 1 do
+      let prev_h = !prev in
+      let h =
+        Program.create (fun () ->
+            (match prev_h with
+            | Some h when not (inject_race && f = racy_frame) ->
+                ignore (Program.get h)
+            | Some _ | None -> ());
+            run_frame f)
+      in
+      prev := Some h
+    done;
+    match !prev with Some h -> ignore (Program.get h) | None -> ()
+  in
+  let verify () =
+    (* serial reference of the whole pipeline *)
+    let pos = Array.init p.points (fun i -> ((i * 17) mod p.img, (i * 29) mod p.img)) in
+    let ok = ref true in
+    for f = 0 to p.frames - 1 do
+      let rd_ref _arr idx =
+        (* reference reads the synthetic image directly *)
+        let x = idx / p.img and y = idx mod p.img in
+        intensity f x y
+      in
+      for i = 0 to p.points - 1 do
+        pos.(i) <-
+          track_point rd_ref () ~img:p.img ~window:p.window ~template:p.template ~f
+            pos.(i)
+      done
+    done;
+    for i = 0 to p.points - 1 do
+      let x, y = pos.(i) in
+      if
+        Program.rd_raw positions.(p.frames) (2 * i) <> x
+        || Program.rd_raw positions.(p.frames) ((2 * i) + 1) <> y
+      then ok := false
+    done;
+    !ok
+  in
+  { Workload.program; verify; mem_base = Program.base images.(0) }
+
+let workload =
+  {
+    Workload.name = "hw";
+    description = "Heart Wall: per-frame fork-join tracking pipelined with futures";
+    instantiate;
+    paper_figure3 =
+      [ "10 (images)"; "-"; "1.73e10"; "1.64e8"; "1.75e10"; "3672"; "9914" ];
+  }

@@ -1,0 +1,16 @@
+(** Heart Wall tracking (paper benchmark [hw], from Rodinia; 10 ultrasound
+    frames at paper scale).
+
+    We have no ultrasound data, so frames are synthetic deterministic
+    images (DESIGN.md §5.5); the dag shape and access mix match the
+    original: frames are pipelined with one structured future per frame
+    (frame [f] gets frame [f-1]'s handle before reading the previous
+    point positions), and within a frame the sample points are tracked by
+    a fan of group sub-futures created and gotten inside the frame, plus
+    fork-join image generation. Tracking is a window search minimizing a
+    sum-of-absolute-differences response against a template.
+
+    [inject_race] makes one frame skip its get of the previous frame, so
+    its reads of the previous positions race that frame's writes. *)
+
+val workload : Workload.t

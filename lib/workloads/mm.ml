@@ -1,0 +1,96 @@
+module Program = Sfr_runtime.Program
+module Prng = Sfr_support.Prng
+
+type params = { n : int; b : int }
+
+let params_of = function
+  | Workload.Tiny -> { n = 8; b = 2 }
+  | Workload.Small -> { n = 16; b = 4 }
+  | Workload.Default -> { n = 64; b = 8 }
+  | Workload.Large -> { n = 128; b = 16 }
+  | Workload.Paper -> { n = 2048; b = 64 }
+
+(* base-case kernel: C[i,j] += sum_k A[i,k] * B[k,j] over an n×n block *)
+let base_case ~nmat a b c (ar, ac) (br, bc) (cr, cc) n =
+  let idx r c_ = (r * nmat) + c_ in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0 in
+      for k = 0 to n - 1 do
+        acc := !acc + (Program.rd a (idx (ar + i) (ac + k)) * Program.rd b (idx (br + k) (bc + j)))
+      done;
+      let prev = Program.rd c (idx (cr + i) (cc + j)) in
+      Program.wr c (idx (cr + i) (cc + j)) (prev + !acc)
+    done
+  done
+
+let instantiate ?(inject_race = false) scale =
+  let { n; b } = params_of scale in
+  let a = Program.alloc (n * n) 0 in
+  let bm = Program.alloc (n * n) 0 in
+  let c = Program.alloc (n * n) 0 in
+  let rng = Prng.create 0x4d4d in
+  for i = 0 to (n * n) - 1 do
+    Program.wr_raw a i (Prng.int rng 10);
+    Program.wr_raw bm i (Prng.int rng 10)
+  done;
+  let program () =
+    (* quadrant recursion; [top] skips the phase-1 gets when injecting *)
+    let rec mm ~top (ar, ac) (br, bc) (cr, cc) size =
+      if size <= b then base_case ~nmat:n a bm c (ar, ac) (br, bc) (cr, cc) size
+      else begin
+        let h = size / 2 in
+        let sub (qr, qc) (dr, dc) = ((qr + (dr * h)), qc + (dc * h)) in
+        (* first-half products as structured futures *)
+        let quads =
+          [ ((0, 0), (0, 0), (0, 0)); ((0, 0), (0, 1), (0, 1));
+            ((1, 0), (0, 0), (1, 0)); ((1, 0), (0, 1), (1, 1)) ]
+        in
+        let handles =
+          List.map
+            (fun (da, db, dc) ->
+              Program.create (fun () ->
+                  mm ~top:false (sub (ar, ac) da) (sub (br, bc) db)
+                    (sub (cr, cc) dc) h))
+            quads
+        in
+        if not (inject_race && top) then List.iter Program.get handles;
+        (* second-half products as spawns *)
+        let quads2 =
+          [ ((0, 1), (1, 0), (0, 0)); ((0, 1), (1, 1), (0, 1));
+            ((1, 1), (1, 0), (1, 0)); ((1, 1), (1, 1), (1, 1)) ]
+        in
+        List.iter
+          (fun (da, db, dc) ->
+            Program.spawn (fun () ->
+                mm ~top:false (sub (ar, ac) da) (sub (br, bc) db)
+                  (sub (cr, cc) dc) h))
+          quads2;
+        Program.sync ()
+      end
+    in
+    mm ~top:true (0, 0) (0, 0) (0, 0) n
+  in
+  let verify () =
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let acc = ref 0 in
+        for k = 0 to n - 1 do
+          acc := !acc + (Program.rd_raw a ((i * n) + k) * Program.rd_raw bm ((k * n) + j))
+        done;
+        if Program.rd_raw c ((i * n) + j) <> !acc then ok := false
+      done
+    done;
+    !ok
+  in
+  { Workload.program; verify; mem_base = Program.base a }
+
+let workload =
+  {
+    Workload.name = "mm";
+    description = "divide-and-conquer matrix multiplication (futures + fork-join)";
+    instantiate;
+    paper_figure3 =
+      [ "2048"; "64"; "1.72e10"; "1.43e8"; "1.32e8"; "18724"; "79577" ];
+  }

@@ -1,0 +1,13 @@
+(** Divide-and-conquer matrix multiplication (paper benchmark [mm];
+    N=2048, B=64 at paper scale).
+
+    [C = A·B] by quadrant recursion: the four first-half products
+    ([C11 += A11·B11], …) run as structured futures, are gotten, and the
+    four second-half products run as spawns joined by a sync — four
+    futures per internal recursion node, which at paper scale gives
+    [4·(1 + 8 + 8² + 8³ + 8⁴) = 18724] futures, the exact Figure 3 count.
+    Integer matrices, so [verify] compares exactly against a serial
+    reference. [inject_race] skips the root-level gets, making the
+    second-half updates race the first-half futures. *)
+
+val workload : Workload.t

@@ -1,0 +1,127 @@
+module Program = Sfr_runtime.Program
+module Prng = Sfr_support.Prng
+
+type params = { n : int; b : int }
+
+let params_of = function
+  | Workload.Tiny -> { n = 64; b = 8 }
+  | Workload.Small -> { n = 512; b = 32 }
+  | Workload.Default -> { n = 20_000; b = 256 }
+  | Workload.Large -> { n = 100_000; b = 1024 }
+  | Workload.Paper -> { n = 10_000_000; b = 8192 }
+
+(* insertion sort for base cases, on the instrumented array *)
+let insertion_sort arr lo n =
+  for i = lo + 1 to lo + n - 1 do
+    let x = Program.rd arr i in
+    let j = ref (i - 1) in
+    let continue_ = ref true in
+    while !continue_ && !j >= lo do
+      let y = Program.rd arr !j in
+      if y > x then begin
+        Program.wr arr (!j + 1) y;
+        decr j
+      end
+      else continue_ := false
+    done;
+    Program.wr arr (!j + 1) x
+  done
+
+(* binary search for the first index in [lo, hi) with arr.(i) >= key *)
+let lower_bound arr lo hi key =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Program.rd arr mid < key then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let serial_merge src (l1, n1) (l2, n2) dst d =
+  let i = ref l1 and j = ref l2 and o = ref d in
+  while !i < l1 + n1 || !j < l2 + n2 do
+    let take_left =
+      !i < l1 + n1
+      && (!j >= l2 + n2 || Program.rd src !i <= Program.rd src !j)
+    in
+    if take_left then begin
+      Program.wr dst !o (Program.rd src !i);
+      incr i
+    end
+    else begin
+      Program.wr dst !o (Program.rd src !j);
+      incr j
+    end;
+    incr o
+  done
+
+(* fork-join divide-and-conquer merge (median of the larger run, binary
+   search in the other) *)
+let rec par_merge ~grain src (l1, n1) (l2, n2) dst d =
+  if n1 + n2 <= grain then serial_merge src (l1, n1) (l2, n2) dst d
+  else if n1 < n2 then par_merge ~grain src (l2, n2) (l1, n1) dst d
+  else begin
+    let m1 = l1 + (n1 / 2) in
+    let pivot = Program.rd src m1 in
+    let m2 = lower_bound src l2 (l2 + n2) pivot in
+    let left_out = (m1 - l1) + (m2 - l2) in
+    Program.spawn (fun () ->
+        par_merge ~grain src (l1, m1 - l1) (l2, m2 - l2) dst d);
+    par_merge ~grain src (l1 + (m1 - l1), n1 - (m1 - l1)) (m2, l2 + n2 - m2) dst
+      (d + left_out);
+    Program.sync ()
+  end
+
+let rec par_copy ~grain src lo dst dlo n =
+  if n <= grain then
+    for i = 0 to n - 1 do
+      Program.wr dst (dlo + i) (Program.rd src (lo + i))
+    done
+  else begin
+    let h = n / 2 in
+    Program.spawn (fun () -> par_copy ~grain src lo dst dlo h);
+    par_copy ~grain src (lo + h) dst (dlo + h) (n - h);
+    Program.sync ()
+  end
+
+let instantiate ?(inject_race = false) scale =
+  let { n; b } = params_of scale in
+  let arr = Program.alloc n 0 in
+  let tmp = Program.alloc n 0 in
+  let rng = Prng.create 0x5057 in
+  let reference = Array.init n (fun _ -> Prng.int rng 1_000_000) in
+  Array.iteri (fun i v -> Program.wr_raw arr i v) reference;
+  let program () =
+    let rec sort ~top lo len =
+      if len <= b then insertion_sort arr lo len
+      else begin
+        let h = len / 2 in
+        let h1 = Program.create (fun () -> sort ~top:false lo h) in
+        let h2 = Program.create (fun () -> sort ~top:false (lo + h) (len - h)) in
+        if not (inject_race && top) then begin
+          Program.get h1;
+          Program.get h2
+        end;
+        par_merge ~grain:b arr (lo, h) (lo + h, len - h) tmp lo;
+        par_copy ~grain:b tmp lo arr lo len
+      end
+    in
+    sort ~top:true 0 n
+  in
+  let verify () =
+    let expected = Array.copy reference in
+    Array.sort compare expected;
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      if Program.rd_raw arr i <> expected.(i) then ok := false
+    done;
+    !ok
+  in
+  { Workload.program; verify; mem_base = Program.base arr }
+
+let workload =
+  {
+    Workload.name = "sort";
+    description = "parallel mergesort (future-sorted halves, fork-join merge)";
+    instantiate;
+    paper_figure3 = [ "1e7"; "8192"; "2.75e8"; "2.22e8"; "1.21e7"; "14463"; "60030" ];
+  }

@@ -1,0 +1,10 @@
+(** Parallel mergesort (paper benchmark [sort]; N=10⁷, B=8192 at paper
+    scale).
+
+    The two halves sort as structured futures (gotten before merging);
+    the merge is a divide-and-conquer fork-join merge (median split plus
+    binary search) into a scratch buffer, copied back with spawned
+    halves. [inject_race] skips the top-level gets so the merge races
+    the half-sorting futures. *)
+
+val workload : Workload.t

@@ -1,0 +1,4 @@
+let all =
+  [ Mm.workload; Msort.workload; Sw.workload; Heartwall.workload; Ferret.workload ]
+
+let find name = List.find_opt (fun w -> w.Workload.name = name) all

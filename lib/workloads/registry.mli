@@ -1,0 +1,4 @@
+(** All paper benchmarks, in Figure 3 order. *)
+
+val all : Workload.t list
+val find : string -> Workload.t option

@@ -1,0 +1,190 @@
+module Program = Sfr_runtime.Program
+module Prng = Sfr_support.Prng
+
+type params = { n : int; b : int }
+
+let params_of = function
+  | Workload.Tiny -> { n = 16; b = 4 }
+  | Workload.Small -> { n = 32; b = 8 }
+  | Workload.Default -> { n = 96; b = 12 }
+  | Workload.Large -> { n = 256; b = 32 }
+  | Workload.Paper -> { n = 2048; b = 64 }
+
+let match_score = 5
+let mismatch_score = -3
+let gap d = 4 + d
+
+(* the arbitrary-gap-penalty local-alignment recurrence (O(i+j) per cell):
+     S[i][j] = max(0, S[i-1][j-1] + score, max_k S[i][k] - gap(j-k),
+                   max_k S[k][j] - gap(i-k)) *)
+let cell_best rd x y s ~stride i j =
+  let best = ref 0 in
+  let sc = if rd x (i - 1) = rd y (j - 1) then match_score else mismatch_score in
+  let diag = rd s (((i - 1) * stride) + (j - 1)) + sc in
+  if diag > !best then best := diag;
+  for k = 0 to j - 1 do
+    let v = rd s ((i * stride) + k) - gap (j - k) in
+    if v > !best then best := v
+  done;
+  for k = 0 to i - 1 do
+    let v = rd s ((k * stride) + j) - gap (i - k) in
+    if v > !best then best := v
+  done;
+  !best
+
+(* deterministic per-block cost skew (breaks anti-diagonal uniformity so
+   barriers must wait for stragglers while futures pipeline past them);
+   amplitude comparable to the largest block cost *)
+let skew_work ~b ~blocks bi bj =
+  Program.work (b * b * (((bi * 37) + (bj * 53)) mod (8 * blocks)))
+
+let instantiate ?(inject_race = false) ?(skew = false) scale =
+  let { n; b } = params_of scale in
+  let blocks = n / b in
+  let stride = n + 1 in
+  let x = Program.alloc n 0 in
+  let y = Program.alloc n 0 in
+  let s = Program.alloc (stride * stride) 0 in
+  let rng = Prng.create 0x5357 in
+  for i = 0 to n - 1 do
+    Program.wr_raw x i (Prng.int rng 4);
+    Program.wr_raw y i (Prng.int rng 4)
+  done;
+  (* the block to deprive of its above-get when injecting a race: one in
+     the last column, whose get no downstream block's handle publication
+     depends on (it creates no right neighbour) *)
+  let racy_block = (blocks / 2, blocks - 1) in
+  let program () =
+    let handles : int Program.handle option Atomic.t array =
+      Array.init (blocks * blocks) (fun _ -> Atomic.make None)
+    in
+    let slot bi bj = handles.((bi * blocks) + bj) in
+    let compute_block bi bj =
+      if skew then skew_work ~b ~blocks bi bj;
+      for i = (bi * b) + 1 to (bi + 1) * b do
+        for j = (bj * b) + 1 to (bj + 1) * b do
+          Program.wr s ((i * stride) + j) (cell_best Program.rd x y s ~stride i j)
+        done
+      done
+    in
+    (* block (bi,bj) for bj >= 1: created by (bi,bj-1); gets above handle.
+       block (bi,0): created by (bi-1,0); no get needed. *)
+    let rec block bi bj () =
+      (if bi > 0 && bj > 0 && not (inject_race && (bi, bj) = racy_block) then
+         match Atomic.get (slot (bi - 1) bj) with
+         | Some h -> ignore (Program.get h)
+         | None -> assert false);
+      compute_block bi bj;
+      if bj = 0 then begin
+        (* create right first (publishing our column-1 handle before the
+           row below starts), then the block below *)
+        if blocks > 1 then
+          Atomic.set (slot bi 1) (Some (Program.create (block bi 1)));
+        if bi + 1 < blocks then
+          Atomic.set (slot (bi + 1) 0) (Some (Program.create (block (bi + 1) 0)))
+      end
+      else if bj + 1 < blocks then
+        Atomic.set (slot bi (bj + 1)) (Some (Program.create (block bi (bj + 1))));
+      0
+    in
+    let h00 = Program.create (block 0 0) in
+    Atomic.set (slot 0 0) (Some h00)
+  in
+  let verify () =
+    (* uninstrumented reference *)
+    let ref_s = Array.make (stride * stride) 0 in
+    let rdx i = Program.rd_raw x i and rdy i = Program.rd_raw y i in
+    for i = 1 to n do
+      for j = 1 to n do
+        let best = ref 0 in
+        let sc = if rdx (i - 1) = rdy (j - 1) then match_score else mismatch_score in
+        let diag = ref_s.(((i - 1) * stride) + (j - 1)) + sc in
+        if diag > !best then best := diag;
+        for k = 0 to j - 1 do
+          let v = ref_s.((i * stride) + k) - gap (j - k) in
+          if v > !best then best := v
+        done;
+        for k = 0 to i - 1 do
+          let v = ref_s.((k * stride) + j) - gap (i - k) in
+          if v > !best then best := v
+        done;
+        ref_s.((i * stride) + j) <- !best
+      done
+    done;
+    let ok = ref true in
+    for i = 0 to (stride * stride) - 1 do
+      if Program.rd_raw s i <> ref_s.(i) then ok := false
+    done;
+    !ok
+  in
+  { Workload.program; verify; mem_base = Program.base x }
+
+let workload =
+  {
+    Workload.name = "sw";
+    description = "Smith-Waterman wavefront, one structured future per block";
+    instantiate = (fun ?inject_race scale -> instantiate ?inject_race scale);
+    paper_figure3 = [ "2048"; "64"; "8.59e9"; "4.20e6"; "8.58e9"; "1024"; "2054" ];
+  }
+
+(* fork-join wavefront: barrier per anti-diagonal. Work is identical to
+   the futures version; the span picks up a full barrier per diagonal. *)
+let instantiate_forkjoin ?(inject_race = false) ?(skew = false) scale =
+  let { n; b } = params_of scale in
+  let blocks = n / b in
+  let stride = n + 1 in
+  let x = Program.alloc n 0 in
+  let y = Program.alloc n 0 in
+  let s = Program.alloc (stride * stride) 0 in
+  let rng = Prng.create 0x5357 in
+  for i = 0 to n - 1 do
+    Program.wr_raw x i (Prng.int rng 4);
+    Program.wr_raw y i (Prng.int rng 4)
+  done;
+  let compute_block bi bj =
+    if skew then skew_work ~b ~blocks bi bj;
+    for i = (bi * b) + 1 to (bi + 1) * b do
+      for j = (bj * b) + 1 to (bj + 1) * b do
+        Program.wr s ((i * stride) + j) (cell_best Program.rd x y s ~stride i j)
+      done
+    done
+  in
+  let program () =
+    (* anti-diagonal d holds blocks (bi, d - bi) *)
+    for d = 0 to (2 * blocks) - 2 do
+      let lo = max 0 (d - blocks + 1) and hi = min (blocks - 1) d in
+      for bi = lo to hi do
+        Program.spawn (fun () -> compute_block bi (d - bi))
+      done;
+      (* the barrier: skip one when injecting, racing two diagonals *)
+      if not (inject_race && d = blocks - 1) then Program.sync ()
+    done;
+    Program.sync ()
+  in
+  let verify () =
+    let ref_s = Array.make (stride * stride) 0 in
+    let rdx i = Program.rd_raw x i and rdy i = Program.rd_raw y i in
+    for i = 1 to n do
+      for j = 1 to n do
+        let best = ref 0 in
+        let sc = if rdx (i - 1) = rdy (j - 1) then match_score else mismatch_score in
+        let diag = ref_s.(((i - 1) * stride) + (j - 1)) + sc in
+        if diag > !best then best := diag;
+        for k = 0 to j - 1 do
+          let v = ref_s.((i * stride) + k) - gap (j - k) in
+          if v > !best then best := v
+        done;
+        for k = 0 to i - 1 do
+          let v = ref_s.((k * stride) + j) - gap (i - k) in
+          if v > !best then best := v
+        done;
+        ref_s.((i * stride) + j) <- !best
+      done
+    done;
+    let ok = ref true in
+    for i = 0 to (stride * stride) - 1 do
+      if Program.rd_raw s i <> ref_s.(i) then ok := false
+    done;
+    !ok
+  in
+  { Workload.program; verify; mem_base = Program.base x }

@@ -1,0 +1,30 @@
+(** Smith-Waterman sequence alignment with arbitrary gap penalties (paper
+    benchmark [sw]; N=2048, B=64 at paper scale — the O(N³) recurrence,
+    matching the paper's 8.59e9 reads for N=2048).
+
+    The block grid runs as a wavefront of structured futures, exactly one
+    per block (N/B = 32 ⇒ 1024 futures at paper scale, the Figure 3
+    count): block [(i,j)] is created by its left neighbor (the create
+    path orders the left dependence), gets the handle of the block above
+    (the get edge orders the upward dependence), and creates its right
+    neighbor when done; column-0 blocks are created by the block above
+    instead. This is the Cilk-F-style structured-future wavefront of
+    Singer et al. that motivates the paper.
+
+    [inject_race] drops one interior block's above-get, so its reads race
+    the block above. *)
+
+val workload : Workload.t
+
+val instantiate : ?inject_race:bool -> ?skew:bool -> Workload.scale -> Workload.instance
+(** As {!workload}'s instantiate; [skew] adds deterministic per-block
+    extra work, breaking the anti-diagonal cost uniformity (used by the
+    motivation bench). *)
+
+val instantiate_forkjoin :
+  ?inject_race:bool -> ?skew:bool -> Workload.scale -> Workload.instance
+(** The same computation with fork-join wavefront parallelism instead of
+    futures: one spawn/sync barrier per anti-diagonal of blocks. Same
+    work, higher span — the comparison (Singer et al., PPoPP'19) that
+    motivates structured futures in the paper's introduction. The
+    [motivation] bench target contrasts the two dags. *)

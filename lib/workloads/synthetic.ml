@@ -1,0 +1,169 @@
+module Prng = Sfr_support.Prng
+module Program = Sfr_runtime.Program
+
+type op =
+  | OSpawn of int * op list (* task id, body *)
+  | OCreate of int * int * op list (* task id, future index, body *)
+  | OSync
+  | OGet of int
+  | ORead of int
+  | OWrite of int (* in race-free mode: index into the task's private row *)
+  | OWork of int
+
+type t = {
+  tree : op list;
+  nfutures : int;
+  ntasks : int;
+  locs : int;
+  race_free : bool;
+  ops : int;
+  gets : int;
+}
+
+(* -- generation --------------------------------------------------------- *)
+
+let generate ?(race_free = false) ~seed ~ops ~depth ~locs () =
+  let rng = Prng.create seed in
+  let budget = ref ops in
+  let next_future = ref 0 in
+  let next_task = ref 1 (* 0 is the root task *) in
+  let total_ops = ref 0 in
+  let total_gets = ref 0 in
+  (* split a random subset off the pool to hand to a child task *)
+  let split_pool pool =
+    List.partition (fun _ -> Prng.int rng 3 = 0) pool
+  in
+  (* returns the frame's ops and its leftover handle pool, surfaced to the
+     parent across the joining sync (spawned children only) *)
+  let rec gen_frame depth pool =
+    let acc = ref [] in
+    let pool = ref pool in
+    let pending = ref [] in
+    let emit op =
+      incr total_ops;
+      acc := op :: !acc
+    in
+    let steps = 2 + Prng.int rng 8 in
+    for _ = 1 to steps do
+      if !budget > 0 then begin
+        decr budget;
+        match Prng.int rng 8 with
+        | (0 | 1) when depth > 0 ->
+            let tid = !next_task in
+            incr next_task;
+            let give, keep = split_pool !pool in
+            pool := keep;
+            let child_ops, child_left = gen_frame (depth - 1) give in
+            emit (OSpawn (tid, child_ops));
+            pending := child_left @ !pending
+        | (2 | 3) when depth > 0 ->
+            let tid = !next_task in
+            incr next_task;
+            let idx = !next_future in
+            incr next_future;
+            let give, keep = split_pool !pool in
+            pool := keep;
+            let child_ops, _lost = gen_frame (depth - 1) give in
+            emit (OCreate (tid, idx, child_ops));
+            pool := idx :: !pool
+        | 4 ->
+            emit OSync;
+            pool := !pending @ !pool;
+            pending := []
+        | (5 | 6) when !pool <> [] ->
+            let i = Prng.int rng (List.length !pool) in
+            let h = List.nth !pool i in
+            pool := List.filteri (fun j _ -> j <> i) !pool;
+            incr total_gets;
+            emit (OGet h)
+        | _ -> (
+            match Prng.int rng 3 with
+            | 0 -> emit (ORead (Prng.int rng locs))
+            | 1 -> emit (OWrite (Prng.int rng locs))
+            | _ -> emit (OWork (1 + Prng.int rng 4)))
+      end
+    done;
+    (* the frame-end implicit sync surfaces any remaining child handles *)
+    (List.rev !acc, !pending @ !pool)
+  in
+  let tree, _leftover = gen_frame depth [] in
+  {
+    tree;
+    nfutures = !next_future;
+    ntasks = !next_task;
+    locs;
+    race_free;
+    ops = !total_ops;
+    gets = !total_gets;
+  }
+
+(* -- interpretation ------------------------------------------------------ *)
+
+type instance = {
+  program : unit -> unit;
+  checksum : unit -> int;
+  mem_base : int;
+}
+
+let instantiate t =
+  let mem = Program.alloc (max 1 t.locs) 0 in
+  (* race-free mode: a private write row per task, plus a read-only
+     shared region (written only during uninstrumented setup) *)
+  let private_mem =
+    if t.race_free then Program.alloc (max 1 (t.ntasks * t.locs)) 0
+    else Program.alloc 1 0
+  in
+  if t.race_free then
+    for i = 0 to t.locs - 1 do
+      Program.wr_raw mem i i
+    done;
+  let handles : int Program.handle option Atomic.t array =
+    Array.init (max 1 t.nfutures) (fun _ -> Atomic.make None)
+  in
+  let checksum = Atomic.make 0 in
+  let handle_of idx =
+    match Atomic.get handles.(idx) with
+    | Some h -> h
+    | None -> assert false (* generation guarantees create precedes get *)
+  in
+  (* each task returns a deterministic local value: its future index plus
+     the values it got (get results are deterministic by induction; racy
+     memory reads never enter the checksum) *)
+  let rec interp tid local ops =
+    List.fold_left
+      (fun local op ->
+        match op with
+        | OSpawn (child_tid, body) ->
+            Program.spawn (fun () -> ignore (interp child_tid 0 body));
+            local
+        | OCreate (child_tid, idx, body) ->
+            let h = Program.create (fun () -> interp child_tid (idx + 1) body) in
+            Atomic.set handles.(idx) (Some h);
+            local
+        | OSync ->
+            Program.sync ();
+            local
+        | OGet idx ->
+            let v = Program.get (handle_of idx) in
+            ignore (Atomic.fetch_and_add checksum v);
+            local + v
+        | ORead i ->
+            ignore (Program.rd mem i);
+            local
+        | OWrite i ->
+            if t.race_free then
+              Program.wr private_mem ((tid * t.locs) + i) (local land 0xff)
+            else Program.wr mem i (local land 0xff);
+            local
+        | OWork n ->
+            Program.work n;
+            local + 1)
+      local ops
+  in
+  {
+    program = (fun () -> ignore (interp 0 0 t.tree));
+    checksum = (fun () -> Atomic.get checksum);
+    mem_base = Program.base mem;
+  }
+
+let stats t = (t.ops, t.nfutures, t.gets)

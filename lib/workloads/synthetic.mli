@@ -1,0 +1,45 @@
+(** Random structured-futures programs for differential testing.
+
+    A program is first generated as a pure operation tree (so its dag
+    shape is a function of the seed alone, independent of executor and
+    schedule), then interpreted over the {!Sfr_runtime.Program} DSL.
+    Handles flow in the three structured-legal ways: gotten later in the
+    creating frame; passed down to tasks started after the create; and
+    handed up from a spawned child to its parent across the joining sync.
+    Single-touch is respected by construction; memory accesses hit a small
+    shared location space, so determinacy races occur naturally — the
+    differential tests compare every detector's verdicts (and the
+    ground-truth oracle's) on exactly the same dag.
+
+    The interpreter's internal bookkeeping (handle table, result
+    accumulation) uses unmonitored memory, so detectors see only the
+    generated accesses. *)
+
+type t
+
+val generate : ?race_free:bool -> seed:int -> ops:int -> depth:int -> locs:int -> unit -> t
+(** Deterministic in all arguments. [ops] bounds the total operation
+    count, [depth] the task-nesting depth, [locs] the shared-location
+    space size. With [race_free] (default false), writes target a region
+    private to the issuing task and reads a read-only shared region, so
+    the program provably has no determinacy race — the soundness (no
+    false positives) counterpart to the default racy mode. *)
+
+type instance = {
+  program : unit -> unit;
+  checksum : unit -> int;
+      (** call only after the executor returns: futures may outlive the
+          root computation, and their gets contribute. Accumulates future
+          results, which are deterministic by construction, so executors
+          and schedules can be cross-checked. *)
+  mem_base : int;
+      (** location ID of the shared array's element 0 — subtract it to
+          compare race verdicts across runs (each instance allocates a
+          fresh location range). *)
+}
+
+val instantiate : t -> instance
+(** Instantiate afresh per run. *)
+
+val stats : t -> int * int * int
+(** [(ops, futures, gets)] of the generated tree. *)

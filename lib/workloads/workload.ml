@@ -1,0 +1,31 @@
+type scale = Tiny | Small | Default | Large | Paper
+
+type instance = {
+  program : unit -> unit;
+  verify : unit -> bool;
+  mem_base : int;
+}
+
+type t = {
+  name : string;
+  description : string;
+  instantiate : ?inject_race:bool -> scale -> instance;
+  paper_figure3 : string list;
+}
+
+let pp_scale ppf s =
+  Format.pp_print_string ppf
+    (match s with
+    | Tiny -> "tiny"
+    | Small -> "small"
+    | Default -> "default"
+    | Large -> "large"
+    | Paper -> "paper")
+
+let scale_of_string = function
+  | "tiny" -> Some Tiny
+  | "small" -> Some Small
+  | "default" -> Some Default
+  | "large" -> Some Large
+  | "paper" -> Some Paper
+  | _ -> None

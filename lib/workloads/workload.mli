@@ -1,0 +1,33 @@
+(** Common shape of the paper's five benchmarks (Figure 3): matrix
+    multiplication, mergesort, Smith-Waterman, Heart Wall, and ferret.
+
+    Each workload builds fresh program instances at several scales; the
+    [Paper] scale matches the published input sizes (hours of wall-clock
+    under full detection on this substrate — the bench harness defaults
+    to [Default] and reports the paper's published characteristics
+    alongside; see EXPERIMENTS.md). [inject_race] plants one determinacy
+    race by removing a synchronization edge, for detector validation. *)
+
+type scale = Tiny | Small | Default | Large | Paper
+
+type instance = {
+  program : unit -> unit;
+  verify : unit -> bool;
+      (** call after execution: checks the computation's output against an
+          uninstrumented reference implementation. *)
+  mem_base : int;
+      (** smallest location ID used; normalizes race verdicts across
+          instances. *)
+}
+
+type t = {
+  name : string;
+  description : string;
+  instantiate : ?inject_race:bool -> scale -> instance;
+  paper_figure3 : string list;
+      (** the paper's Figure 3 row: N, B, reads, writes, queries, futures,
+          nodes — republished next to our measured counts. *)
+}
+
+val pp_scale : Format.formatter -> scale -> unit
+val scale_of_string : string -> scale option

@@ -1,0 +1,185 @@
+(* The paper's Section 3 structural results as executable properties over
+   randomly generated structured-futures programs. Lemmas 3.4, 3.7 and
+   3.9 are covered in test_dag.ml next to the PSP machinery; this suite
+   adds the remaining ones:
+
+   - Properties 1 and 2 (edge structure of dags with futures)
+   - Lemma 3.1 (a valid execution finishes future descendants first —
+     witnessed by the depth-first serial execution)
+   - Lemma 3.2 (canonical paths: gets before creates)
+   - Lemma 3.3 (same-future reachability has an SP-only path)
+   - Lemma 3.5 (ancestor-future reachability has a get-free path)       *)
+
+module Dag = Sfr_dag.Dag
+module Dag_algo = Sfr_dag.Dag_algo
+module Bitset = Sfr_support.Bitset
+module Serial_exec = Sfr_runtime.Serial_exec
+module Trace = Sfr_runtime.Trace
+module Synthetic = Sfr_workloads.Synthetic
+
+let record_random seed =
+  let t = Synthetic.generate ~seed ~ops:90 ~depth:5 ~locs:8 () in
+  let inst = Synthetic.instantiate t in
+  let trace, cb, root = Trace.make () in
+  let (), _ = Serial_exec.run cb ~root inst.Synthetic.program in
+  Trace.dag trace
+
+let gen_dag = QCheck2.Gen.map record_random QCheck2.Gen.(int_bound 1_000_000)
+
+(* ancestor sets over a restricted edge relation *)
+let restricted_ancestors dag ~keep =
+  let n = Dag.n_nodes dag in
+  let anc = Array.init n (fun _ -> Bitset.create ()) in
+  for v = 0 to n - 1 do
+    List.iter
+      (fun (ek, u) ->
+        if keep ek then begin
+          Bitset.union_into ~dst:anc.(v) anc.(u);
+          Bitset.add anc.(v) u
+        end)
+      (Dag.preds dag v)
+  done;
+  anc
+
+let reaches_in anc u v = u = v || Bitset.mem anc.(v) u
+
+(* Property 1: any path between nodes of distinct futures crosses a
+   non-SP edge — equivalently, SP-only reachability never crosses
+   futures. *)
+let prop_property1 =
+  QCheck2.Test.make ~name:"property 1: SP paths stay within a future" ~count:60
+    gen_dag (fun dag ->
+      let sp = restricted_ancestors dag ~keep:(fun ek -> ek = Dag.Sp) in
+      let ok = ref true in
+      for v = 0 to Dag.n_nodes dag - 1 do
+        Bitset.iter
+          (fun u -> if Dag.future_of dag u <> Dag.future_of dag v then ok := false)
+          sp.(v)
+      done;
+      !ok)
+
+(* Property 2: only first(F) has an incoming create edge; only last(F)
+   has an outgoing get edge. *)
+let prop_property2 =
+  QCheck2.Test.make ~name:"property 2: create targets first, get leaves last"
+    ~count:60 gen_dag (fun dag ->
+      let ok = ref true in
+      for u = 0 to Dag.n_nodes dag - 1 do
+        List.iter
+          (fun (ek, w) ->
+            match ek with
+            | Dag.Create_edge ->
+                if Dag.first_of dag (Dag.future_of dag w) <> w then ok := false
+            | Dag.Get_edge ->
+                if Dag.last_of dag (Dag.future_of dag u) <> Some u then ok := false
+            | Dag.Sp -> ())
+          (Dag.succs dag u)
+      done;
+      !ok)
+
+(* Lemma 3.1: some valid execution completes all future descendants of F
+   before F completes. The depth-first serial execution is such a
+   witness, and node IDs are its execution order: id(last(G)) <
+   id(last(F)) for every G in f-descs(F). *)
+let prop_lemma_3_1 =
+  QCheck2.Test.make ~name:"lemma 3.1: serial execution finishes descendants first"
+    ~count:60 gen_dag (fun dag ->
+      let ok = ref true in
+      for g = 1 to Dag.n_futures dag - 1 do
+        match Dag.last_of dag g with
+        | None -> ok := false
+        | Some last_g ->
+            List.iter
+              (fun f ->
+                match Dag.last_of dag f with
+                | None -> ok := false
+                | Some last_f -> if last_g >= last_f then ok := false)
+              (Dag.f_ancestors dag g)
+      done;
+      !ok)
+
+(* Lemma 3.2: whenever u reaches v, there is a canonical path — a
+   (possibly empty) get+SP section followed by a (possibly empty)
+   create+SP section. Check: exists w with u ->(SP|get)* w ->(SP|create)* v. *)
+let prop_lemma_3_2 =
+  QCheck2.Test.make ~name:"lemma 3.2: canonical paths exist" ~count:40 gen_dag
+    (fun dag ->
+      let full = Dag_algo.build_oracle dag Dag_algo.Full in
+      let getsp =
+        restricted_ancestors dag ~keep:(fun ek -> ek = Dag.Sp || ek = Dag.Get_edge)
+      in
+      let createsp =
+        restricted_ancestors dag ~keep:(fun ek -> ek = Dag.Sp || ek = Dag.Create_edge)
+      in
+      let n = Dag.n_nodes dag in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if Dag_algo.precedes full u v then begin
+            (* find a middle node w reachable from u via get+SP that
+               reaches v via create+SP *)
+            let found = ref false in
+            for w = 0 to n - 1 do
+              if
+                (not !found)
+                && reaches_in getsp u w
+                && reaches_in createsp w v
+              then found := true
+            done;
+            if not !found then ok := false
+          end
+        done
+      done;
+      !ok)
+
+(* Lemma 3.3: if u ≺ v within one future, an SP-only path exists. *)
+let prop_lemma_3_3 =
+  QCheck2.Test.make ~name:"lemma 3.3: same-future implies SP path" ~count:60
+    gen_dag (fun dag ->
+      let full = Dag_algo.build_oracle dag Dag_algo.Full in
+      let sp = restricted_ancestors dag ~keep:(fun ek -> ek = Dag.Sp) in
+      let n = Dag.n_nodes dag in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if Dag.future_of dag u = Dag.future_of dag v && Dag_algo.precedes full u v
+          then if not (reaches_in sp u v) then ok := false
+        done
+      done;
+      !ok)
+
+(* Lemma 3.5: if u ∈ F ≺ v ∈ G and F is a future ancestor of G, a path
+   with only create and SP edges exists. *)
+let prop_lemma_3_5 =
+  QCheck2.Test.make ~name:"lemma 3.5: ancestor reachability avoids gets" ~count:60
+    gen_dag (fun dag ->
+      let full = Dag_algo.build_oracle dag Dag_algo.Full in
+      let createsp =
+        restricted_ancestors dag ~keep:(fun ek -> ek = Dag.Sp || ek = Dag.Create_edge)
+      in
+      let n = Dag.n_nodes dag in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          let fu = Dag.future_of dag u and fv = Dag.future_of dag v in
+          if
+            fu <> fv
+            && List.mem fu (Dag.f_ancestors dag fv)
+            && Dag_algo.precedes full u v
+          then if not (reaches_in createsp u v) then ok := false
+        done
+      done;
+      !ok)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_property1;
+      prop_property2;
+      prop_lemma_3_1;
+      prop_lemma_3_2;
+      prop_lemma_3_3;
+      prop_lemma_3_5;
+    ]
+
+let () = Alcotest.run "lemmas" [ ("paper section 3", qtests) ]

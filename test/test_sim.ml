@@ -1,0 +1,124 @@
+(* Tests for the P-worker greedy scheduling simulator: exact answers on
+   canonical dags, Brent's bounds and monotonicity as properties over
+   random structured programs. *)
+
+module Dag = Sfr_dag.Dag
+module Dag_algo = Sfr_dag.Dag_algo
+module Sim_sched = Sfr_runtime.Sim_sched
+module Serial_exec = Sfr_runtime.Serial_exec
+module Trace = Sfr_runtime.Trace
+module Program = Sfr_runtime.Program
+module Synthetic = Sfr_workloads.Synthetic
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let record prog =
+  let trace, cb, root = Trace.make () in
+  let (), _ = Serial_exec.run cb ~root prog in
+  Trace.dag trace
+
+(* a serial chain gains nothing from more workers *)
+let test_chain () =
+  let dag =
+    record (fun () ->
+        for _ = 1 to 10 do
+          Program.work 5
+        done)
+  in
+  let m1 = Sim_sched.makespan dag ~workers:1 in
+  let m4 = Sim_sched.makespan dag ~workers:4 in
+  check int "chain: P=4 equals P=1" m1 m4;
+  (* one strand of cost 50, plus the constant control unit *)
+  check int "chain makespan" 51 m1
+
+(* independent spawned tasks scale perfectly until the span binds *)
+let test_wide () =
+  let dag =
+    record (fun () ->
+        for _ = 1 to 8 do
+          Program.spawn (fun () -> Program.work 100)
+        done;
+        Program.sync ())
+  in
+  let m1 = Sim_sched.makespan dag ~workers:1 in
+  let m8 = Sim_sched.makespan dag ~workers:8 in
+  check bool "wide: near-linear speedup at P=8" true
+    (float_of_int m1 /. float_of_int m8 > 6.0)
+
+let test_workers_validated () =
+  let dag = record (fun () -> Program.work 1) in
+  Alcotest.check_raises "workers >= 1"
+    (Invalid_argument "Sim_sched.makespan: workers must be >= 1") (fun () ->
+      ignore (Sim_sched.makespan dag ~workers:0))
+
+let test_custom_cost () =
+  let dag = record (fun () -> Program.work 7) in
+  check int "custom cost" 3 (Sim_sched.makespan ~cost:(fun _ -> 3) dag ~workers:1)
+
+let gen_dag =
+  QCheck2.Gen.map
+    (fun seed ->
+      let t = Synthetic.generate ~seed ~ops:80 ~depth:5 ~locs:8 () in
+      record (Synthetic.instantiate t).Synthetic.program)
+    QCheck2.Gen.(int_bound 1_000_000)
+
+(* Brent: max(T1/P, T_inf) <= T_P <= T1/P + T_inf, with the same cost
+   model the simulator uses (1 + recorded cost per strand) *)
+let prop_brent =
+  QCheck2.Test.make ~name:"greedy schedules satisfy Brent's bounds" ~count:80
+    gen_dag (fun dag ->
+      let cost v = 1 + Dag.cost_of dag v in
+      let t1 = Sim_sched.makespan dag ~workers:1 in
+      (* span under the same cost model *)
+      let n = Dag.n_nodes dag in
+      let depth = Array.make n 0 in
+      let tinf = ref 0 in
+      for v = 0 to n - 1 do
+        let before =
+          List.fold_left (fun acc (_, u) -> max acc depth.(u)) 0 (Dag.preds dag v)
+        in
+        depth.(v) <- before + cost v;
+        if depth.(v) > !tinf then tinf := depth.(v)
+      done;
+      List.for_all
+        (fun p ->
+          let tp = Sim_sched.makespan dag ~workers:p in
+          let lower = max ((t1 + p - 1) / p) !tinf in
+          tp >= lower && tp <= (t1 / p) + !tinf + 1)
+        [ 1; 2; 3; 5; 8 ])
+
+let prop_monotone =
+  QCheck2.Test.make ~name:"makespan non-increasing in workers" ~count:80 gen_dag
+    (fun dag ->
+      let ms = List.map (fun p -> Sim_sched.makespan dag ~workers:p) [ 1; 2; 4; 8 ] in
+      let rec non_increasing = function
+        | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+        | _ -> true
+      in
+      non_increasing ms)
+
+let prop_speedup_bounded =
+  QCheck2.Test.make ~name:"speedup between 1 and P" ~count:80 gen_dag (fun dag ->
+      List.for_all
+        (fun p ->
+          let s = Sim_sched.speedup dag ~workers:p in
+          s >= 1.0 -. 1e-9 && s <= float_of_int p +. 1e-9)
+        [ 1; 2; 4; 16 ])
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest [ prop_brent; prop_monotone; prop_speedup_bounded ]
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "serial chain" `Quick test_chain;
+          Alcotest.test_case "wide fan" `Quick test_wide;
+          Alcotest.test_case "workers validated" `Quick test_workers_validated;
+          Alcotest.test_case "custom cost" `Quick test_custom_cost;
+        ] );
+      ("properties", qtests);
+    ]

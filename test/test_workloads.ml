@@ -1,0 +1,208 @@
+(* Workload tests: each paper benchmark must (a) compute the right answer
+   under serial and parallel execution, (b) build a valid SF-dag, (c) be
+   race-free as written and racy when a race is injected — with every
+   detector agreeing with the ground-truth oracle on both counts. *)
+
+module Dag = Sfr_dag.Dag
+module Dag_check = Sfr_dag.Dag_check
+module Serial_exec = Sfr_runtime.Serial_exec
+module Par_exec = Sfr_runtime.Par_exec
+module Trace = Sfr_runtime.Trace
+module Workload = Sfr_workloads.Workload
+module Registry = Sfr_workloads.Registry
+module Detector = Sfr_detect.Detector
+module Sf_order = Sfr_detect.Sf_order
+module F_order = Sfr_detect.F_order
+module Multibags = Sfr_detect.Multibags
+module Naive_detector = Sfr_detect.Naive_detector
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let serial_with det prog =
+  let (), _ = Serial_exec.run det.Detector.callbacks ~root:det.Detector.root prog in
+  ()
+
+let oracle_racy (inst : Workload.instance) =
+  let trace, cb, root = Trace.make ~log_accesses:true () in
+  let (), _ = Serial_exec.run cb ~root inst.Workload.program in
+  let v = Naive_detector.analyze (Trace.dag trace) (Trace.accesses trace) in
+  ( List.map (fun l -> l - inst.Workload.mem_base) v.Naive_detector.racy_locations,
+    Trace.dag trace )
+
+let detectors () =
+  [
+    ("sf-order", Sf_order.make ());
+    ("sf-order/2pf", Sf_order.make ~readers:`Two_per_future ());
+    ("f-order", F_order.make ());
+    ("multibags", Multibags.make ());
+  ]
+
+(* serial execution computes the right answer and records a valid SF dag *)
+let test_correct_serial (w : Workload.t) () =
+  let inst = w.Workload.instantiate Workload.Tiny in
+  let trace, cb, root = Trace.make () in
+  let (), _ = Serial_exec.run cb ~root inst.Workload.program in
+  check bool (w.name ^ ": output correct") true (inst.Workload.verify ());
+  check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+    (w.name ^ ": valid SF dag") []
+    (List.map
+       (fun v -> (v.Dag_check.code, v.Dag_check.message))
+       (Dag_check.validate_sf (Trace.dag trace)));
+  check bool (w.name ^ ": uses futures") true (Dag.n_futures (Trace.dag trace) > 1)
+
+let test_correct_parallel (w : Workload.t) () =
+  List.iter
+    (fun workers ->
+      let inst = w.Workload.instantiate Workload.Tiny in
+      let (), _ = Par_exec.run ~workers Sfr_runtime.Events.null ~root:Sfr_runtime.Events.Unit_state inst.Workload.program in
+      check bool
+        (Printf.sprintf "%s: parallel output correct (P=%d)" w.name workers)
+        true
+        (inst.Workload.verify ()))
+    [ 1; 2; 4 ]
+
+(* race-free as written: oracle finds nothing; neither does any detector *)
+let test_race_free (w : Workload.t) () =
+  let inst = w.Workload.instantiate Workload.Tiny in
+  let racy, _ = oracle_racy inst in
+  check (Alcotest.list int) (w.name ^ ": oracle finds no race") [] racy;
+  List.iter
+    (fun (name, det) ->
+      let inst = w.Workload.instantiate Workload.Tiny in
+      serial_with det inst.Workload.program;
+      check int
+        (Printf.sprintf "%s: %s finds no race" w.name name)
+        0
+        (List.length (Detector.racy_locations det)))
+    (detectors ())
+
+(* with an injected race, every detector's racy-location set equals the
+   oracle's *)
+let test_injected_race (w : Workload.t) () =
+  let inst = w.Workload.instantiate ~inject_race:true Workload.Tiny in
+  let expected, _ = oracle_racy inst in
+  check bool (w.name ^ ": oracle sees the injected race") true (expected <> []);
+  List.iter
+    (fun (name, det) ->
+      let inst = w.Workload.instantiate ~inject_race:true Workload.Tiny in
+      serial_with det inst.Workload.program;
+      let got =
+        List.map (fun l -> l - inst.Workload.mem_base) (Detector.racy_locations det)
+      in
+      check (Alcotest.list int)
+        (Printf.sprintf "%s: %s = oracle on injected race" w.name name)
+        expected got)
+    (detectors ())
+
+(* parallel detection of the injected race (parallel-capable detectors) *)
+let test_injected_race_parallel (w : Workload.t) () =
+  let inst = w.Workload.instantiate ~inject_race:true Workload.Tiny in
+  let expected, _ = oracle_racy inst in
+  List.iter
+    (fun workers ->
+      List.iter
+        (fun (name, make) ->
+          let det = make () in
+          let inst = w.Workload.instantiate ~inject_race:true Workload.Tiny in
+          let (), _ =
+            Par_exec.run ~workers det.Detector.callbacks ~root:det.Detector.root
+              inst.Workload.program
+          in
+          let got =
+            List.map
+              (fun l -> l - inst.Workload.mem_base)
+              (Detector.racy_locations det)
+          in
+          check (Alcotest.list int)
+            (Printf.sprintf "%s: %s = oracle (P=%d)" w.name name workers)
+            expected got)
+        [ ("sf-order", fun () -> Sf_order.make ()); ("f-order", fun () -> F_order.make ()) ])
+    [ 1; 2 ]
+
+(* future counts match the construction (mm: 4 per internal node) *)
+let test_mm_future_count () =
+  let w = Option.get (Registry.find "mm") in
+  let inst = w.Workload.instantiate Workload.Tiny in
+  let trace, cb, root = Trace.make () in
+  let (), _ = Serial_exec.run cb ~root inst.Workload.program in
+  (* Tiny: N=8, B=2 -> internal nodes 1 + 8 = 9, futures 4*9 = 36 (+root) *)
+  check int "mm tiny futures" 37 (Dag.n_futures (Trace.dag trace))
+
+let test_sw_future_count () =
+  let w = Option.get (Registry.find "sw") in
+  let inst = w.Workload.instantiate Workload.Tiny in
+  let trace, cb, root = Trace.make () in
+  let (), _ = Serial_exec.run cb ~root inst.Workload.program in
+  (* Tiny: 16/4 = 4x4 blocks -> 16 futures (+root) *)
+  check int "sw tiny futures" 17 (Dag.n_futures (Trace.dag trace))
+
+(* the fork-join Smith-Waterman variant: correct, race-free, racy when
+   injected, and never better than the futures version in dag span *)
+let test_sw_forkjoin () =
+  let module Sw = Sfr_workloads.Sw in
+  let module Dag_algo = Sfr_dag.Dag_algo in
+  let inst = Sw.instantiate_forkjoin Workload.Tiny in
+  let trace, cb, root = Trace.make () in
+  let (), _ = Serial_exec.run cb ~root inst.Workload.program in
+  check bool "fork-join sw correct" true (inst.Workload.verify ());
+  check bool "valid SF dag" true (Dag_check.validate_sf (Trace.dag trace) = []);
+  check int "no futures" 1 (Dag.n_futures (Trace.dag trace));
+  (* race-free + injected race detected, against the oracle *)
+  let inst = Sw.instantiate_forkjoin Workload.Tiny in
+  let racy, _ = oracle_racy inst in
+  check (Alcotest.list int) "race free" [] racy;
+  let inst = Sw.instantiate_forkjoin ~inject_race:true Workload.Tiny in
+  let racy, _ = oracle_racy inst in
+  check bool "injected race visible" true (racy <> []);
+  let det = Sf_order.make () in
+  let inst2 = Sw.instantiate_forkjoin ~inject_race:true Workload.Tiny in
+  serial_with det inst2.Workload.program;
+  check (Alcotest.list int) "detector matches oracle" racy
+    (List.map (fun l -> l - inst2.Workload.mem_base) (Detector.racy_locations det))
+
+let test_sw_skew_span () =
+  let module Sw = Sfr_workloads.Sw in
+  let module Dag_algo = Sfr_dag.Dag_algo in
+  let span_of instantiate =
+    let inst = instantiate Workload.Small in
+    let trace, cb, root = Trace.make () in
+    let (), _ = Serial_exec.run cb ~root inst.Workload.program in
+    Dag_algo.span (Trace.dag trace) Dag_algo.Full
+  in
+  let fut = span_of (fun s -> Sw.instantiate ~skew:true s) in
+  let fj = span_of (fun s -> Sw.instantiate_forkjoin ~skew:true s) in
+  check bool "futures span <= fork-join span under skew" true (fut <= fj)
+
+let test_registry () =
+  check int "five workloads" 5 (List.length Registry.all);
+  check bool "find works" true (Registry.find "ferret" <> None);
+  check bool "find misses" true (Registry.find "nope" = None)
+
+let per_workload (w : Workload.t) =
+  [
+    Alcotest.test_case (w.Workload.name ^ ": serial correct") `Quick
+      (test_correct_serial w);
+    Alcotest.test_case (w.Workload.name ^ ": parallel correct") `Quick
+      (test_correct_parallel w);
+    Alcotest.test_case (w.Workload.name ^ ": race free") `Quick (test_race_free w);
+    Alcotest.test_case (w.Workload.name ^ ": injected race") `Quick
+      (test_injected_race w);
+    Alcotest.test_case (w.Workload.name ^ ": injected race (parallel)") `Quick
+      (test_injected_race_parallel w);
+  ]
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ("benchmarks", List.concat_map per_workload Registry.all);
+      ( "structure",
+        [
+          Alcotest.test_case "mm future count" `Quick test_mm_future_count;
+          Alcotest.test_case "sw future count" `Quick test_sw_future_count;
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "sw fork-join variant" `Quick test_sw_forkjoin;
+          Alcotest.test_case "sw skew span comparison" `Quick test_sw_skew_span;
+        ] );
+    ]
