@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples clean
+.PHONY: all build test bench profile examples clean
 
 all: build
 
@@ -10,6 +10,9 @@ test:
 
 bench:
 	dune exec bench/main.exe -- all --scale default --repeats 3
+
+profile:
+	dune exec bench/main.exe -- profile --scale small
 
 examples:
 	dune exec examples/quickstart.exe

@@ -11,12 +11,16 @@
      ablation-sets     bitmap vs hash-table gp/cp backends
      ablation-readers  keep-all vs 2-per-future reader policies
      ablation-history  mutex vs lock-free vs unsynchronized access history
+     profile           dump per-configuration metric snapshots as JSON
      micro             Bechamel micro-benchmarks of the substrate
-     all               everything above (default)
+     all               everything above except profile (default)
 
    Options: --scale tiny|small|default|large|paper   (default: default)
             --repeats N                              (default: 2)
-            --workers P                              (default: 20)      *)
+            --workers P                              (default: 20)
+            --trace-out FILE   write a chrome://tracing JSON of the run
+            --profile-out FILE (default: BENCH_profile.json)
+            --no-metrics       disable Sfr_obs counters for timing runs   *)
 
 module Figures = Sfr_harness.Figures
 module Workload = Sfr_workloads.Workload
@@ -95,9 +99,10 @@ let micro () =
 let usage () =
   prerr_endline
     "usage: main.exe [fig3|fig4|fig5|sweep|ablation-locks|ablation-sets|\n\
-    \                 ablation-readers|ablation-history|micro|all]\n\
+    \                 ablation-readers|ablation-history|profile|micro|all]\n\
     \                [--scale tiny|small|default|large|paper] [--repeats N]\n\
-    \                [--workers P]";
+    \                [--workers P] [--trace-out FILE] [--profile-out FILE]\n\
+    \                [--no-metrics]";
   exit 2
 
 let () =
@@ -105,6 +110,8 @@ let () =
   let repeats = ref 2 in
   let workers = ref 20 in
   let command = ref "all" in
+  let trace_out = ref None in
+  let profile_out = ref "BENCH_profile.json" in
   let rec parse = function
     | [] -> ()
     | "--scale" :: s :: rest ->
@@ -121,6 +128,15 @@ let () =
         (match int_of_string_opt n with
         | Some n when n > 0 -> workers := n
         | Some _ | None -> usage ());
+        parse rest
+    | "--trace-out" :: f :: rest ->
+        trace_out := Some f;
+        parse rest
+    | "--no-metrics" :: rest ->
+        Sfr_obs.Metrics.disable ();
+        parse rest
+    | "--profile-out" :: f :: rest ->
+        profile_out := f;
         parse rest
     | cmd :: rest when cmd <> "" && cmd.[0] <> '-' ->
         command := cmd;
@@ -140,6 +156,11 @@ let () =
     | "ablation-sets" -> Figures.ablation_sets ~scale ~repeats
     | "ablation-readers" -> Figures.ablation_readers ~scale ~repeats
     | "ablation-history" -> Figures.ablation_history ~scale ~repeats
+    | "profile" -> (
+        try Figures.profile ~scale ~repeats ~out:!profile_out
+        with Sys_error msg ->
+          Printf.eprintf "cannot write profile: %s\n" msg;
+          exit 2)
     | "micro" -> micro ()
     | "all" ->
         List.iter
@@ -151,4 +172,15 @@ let () =
             "ablation-history"; "micro" ]
     | _ -> usage ()
   in
-  run !command
+  (match !trace_out with Some _ -> Sfr_obs.Trace_event.start () | None -> ());
+  run !command;
+  match !trace_out with
+  | Some f -> (
+      Sfr_obs.Trace_event.stop ();
+      match Sfr_obs.Trace_event.write_file f with
+      | () ->
+          Printf.printf "wrote chrome trace to %s (load in chrome://tracing)\n" f
+      | exception Sys_error msg ->
+          Printf.eprintf "cannot write trace: %s\n" msg;
+          exit 2)
+  | None -> ()

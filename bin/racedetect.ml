@@ -5,10 +5,14 @@
      racedetect run --workload mm --detector sf-order [--scale small]
                     [--executor serial|parallel] [--workers N]
                     [--inject-race] [--no-verify] [--check-discipline]
+                    [--stats] [--trace-out FILE]
      racedetect synth --seed 42 [--ops 200] [--depth 5] [--locs 16]
-                      [--detector sf-order] [--oracle]
+                      [--detector sf-order] [--oracle] [--no-verify] [--stats]
      racedetect record --workload sort -o sort.trace
-     racedetect analyze sort.trace                                        *)
+     racedetect analyze sort.trace
+
+   run and synth exit 1 when races are detected (suppress with
+   --no-verify; --inject-race instead *requires* the race to be found). *)
 
 module Workload = Sfr_workloads.Workload
 module Registry = Sfr_workloads.Registry
@@ -49,13 +53,16 @@ let scale_conv =
         | None -> Error (`Msg (Printf.sprintf "unknown scale %S" s))),
       fun ppf s -> Workload.pp_scale ppf s )
 
-let print_detector_report det dt =
+(* Prints the run summary and returns the number of racy locations, so
+   callers can turn "races found" into the exit status. *)
+let print_detector_report ?(stats = false) det dt =
   Printf.printf "executed in %.3f s\n" dt;
   Printf.printf "reachability queries: %d\n" (det.Detector.queries ());
   Printf.printf "reachability memory (live): %s\n"
     (Format.asprintf "%a" Mem_meter.pp_bytes (det.Detector.reach_words ()));
   Printf.printf "access-history memory:      %s\n"
     (Format.asprintf "%a" Mem_meter.pp_bytes (det.Detector.history_words ()));
+  Printf.printf "max readers per location:   %d\n" (det.Detector.max_readers ());
   let reports = Race.reports det.Detector.races in
   if reports = [] then print_endline "no determinacy races detected."
   else begin
@@ -67,7 +74,15 @@ let print_detector_report det dt =
           (Format.asprintf "%a" Race.pp_kind r.Race.kind)
           r.Race.prev_future r.Race.cur_future r.Race.count)
       reports
-  end
+  end;
+  if stats then begin
+    print_endline "-- metrics ----------------------------------------";
+    match det.Detector.metrics () with
+    | [] -> print_endline "(no metrics recorded; is Sfr_obs.Metrics disabled?)"
+    | entries ->
+        print_string (Format.asprintf "%a" Sfr_obs.Metrics.pp_table entries)
+  end;
+  List.length reports
 
 (* -- list ------------------------------------------------------------- *)
 
@@ -125,8 +140,21 @@ let run_cmd =
       & info [ "check-discipline" ]
           ~doc:"Also verify the structured-futures discipline on the fly.")
   in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print the detector's metric counters after the run.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write a chrome://tracing JSON of the execution to $(docv).")
+  in
   let run workload make_det scale executor workers inject no_verify
-      check_discipline =
+      check_discipline stats trace_out =
     match Registry.find workload with
     | None ->
         Printf.eprintf "unknown workload %S (try: racedetect list)\n" workload;
@@ -155,6 +183,7 @@ let run_cmd =
               ( Events.pair d.Discipline.callbacks det.Detector.callbacks,
                 Events.Pair_state (d.Discipline.root, det.Detector.root) )
         in
+        if trace_out <> None then Sfr_obs.Trace_event.start ();
         let (), dt =
           Stats.time (fun () ->
               match executor with
@@ -164,7 +193,18 @@ let run_cmd =
                   Par_exec.run ~workers callbacks ~root inst.Workload.program
                   |> fst)
         in
-        print_detector_report det dt;
+        (match trace_out with
+        | Some f -> (
+            Sfr_obs.Trace_event.stop ();
+            match Sfr_obs.Trace_event.write_file f with
+            | () ->
+                Printf.printf
+                  "wrote chrome trace to %s (load in chrome://tracing)\n" f
+            | exception Sys_error msg ->
+                Printf.eprintf "cannot write trace: %s\n" msg;
+                exit 2)
+        | None -> ());
+        let racy = print_detector_report ~stats det dt in
         (match disc with
         | Some d -> (
             match d.Discipline.violations () with
@@ -184,12 +224,15 @@ let run_cmd =
         if inject && Race.reports det.Detector.races = [] then begin
           print_endline "expected the injected race to be detected!";
           exit 1
-        end
+        end;
+        (* Race-free runs exit 0; detected races exit 1 (unless the caller
+           opted out with --no-verify, or planted them with --inject-race). *)
+        if racy > 0 && (not no_verify) && not inject then exit 1
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ workload $ detector $ scale $ executor $ workers $ inject
-      $ no_verify $ check_discipline)
+      $ no_verify $ check_discipline $ stats $ trace_out)
 
 (* -- record / analyze --------------------------------------------------- *)
 
@@ -303,7 +346,20 @@ let synth_cmd =
       & info [ "oracle" ]
           ~doc:"Also run the exhaustive ground-truth analysis and compare.")
   in
-  let run seed ops depth locs make_det oracle =
+  let no_verify =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:"Exit 0 even when races are detected (synthetic programs \
+                are frequently racy by construction).")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print the detector's metric counters after the run.")
+  in
+  let run seed ops depth locs make_det oracle no_verify stats =
     let t = Synthetic.generate ~seed ~ops ~depth ~locs () in
     let n_ops, futures, gets = Synthetic.stats t in
     Printf.printf "synthetic program: %d ops, %d futures, %d gets\n" n_ops futures gets;
@@ -315,7 +371,7 @@ let synth_cmd =
             inst.Synthetic.program
           |> fst)
     in
-    print_detector_report det dt;
+    let racy = print_detector_report ~stats det dt in
     if oracle then begin
       let inst2 = Synthetic.instantiate t in
       let trace, cb, root = Trace.make ~log_accesses:true () in
@@ -328,10 +384,13 @@ let synth_cmd =
         (List.length expected)
         (if expected = got then "MATCHES" else "DISAGREES WITH");
       if expected <> got then exit 1
-    end
+    end;
+    if racy > 0 && not no_verify then exit 1
   in
   Cmd.v (Cmd.info "synth" ~doc)
-    Term.(const run $ seed $ ops $ depth $ locs $ detector $ oracle)
+    Term.(
+      const run $ seed $ ops $ depth $ locs $ detector $ oracle $ no_verify
+      $ stats)
 
 let () =
   let doc = "on-the-fly determinacy race detection for structured futures" in

@@ -1,3 +1,14 @@
+module Metrics = Sfr_obs.Metrics
+
+(* Observability: the paper's conclusion flags access-history
+   synchronization as the dominant full-detection cost; these counters
+   let the ablations see lock contention and reader-set churn directly. *)
+let m_lock_acquire = Metrics.counter "history.lock.acquire"
+let m_lock_contended = Metrics.counter "history.lock.contended"
+let m_cas_retry = Metrics.counter "history.cas.retry"
+let m_readers_insert = Metrics.counter "history.readers.insert"
+let m_readers_evict = Metrics.counter "history.readers.evict"
+
 type 'a policy =
   | Keep_all
   | Lr_per_future of {
@@ -90,7 +101,13 @@ let empty_readers = function
 
 let with_cell t stripes locking loc f =
   let stripe = stripes.(loc land (Array.length stripes - 1)) in
-  if locking then Mutex.lock stripe.mu;
+  if locking then begin
+    Metrics.incr m_lock_acquire;
+    if not (Mutex.try_lock stripe.mu) then begin
+      Metrics.incr m_lock_contended;
+      Mutex.lock stripe.mu
+    end
+  end;
   let cell =
     match Hashtbl.find_opt stripe.cells loc with
     | Some c -> c
@@ -112,22 +129,32 @@ let striped_read t stripes locking ~loc ~accessor ~check_writer =
           let same_strand = match rs with r :: _ -> r == accessor | [] -> false in
           if not same_strand then begin
             cell.readers <- R_all (accessor :: rs);
-            cell.nreaders <- cell.nreaders + 1
+            cell.nreaders <- cell.nreaders + 1;
+            Metrics.incr m_readers_insert
           end
       | Lr_per_future { future_of; more_left; more_right; covers }, R_lr tbl -> (
           let f = future_of accessor in
           match Hashtbl.find_opt tbl f with
           | None ->
               Hashtbl.add tbl f (accessor, accessor);
-              cell.nreaders <- cell.nreaders + 2
+              cell.nreaders <- cell.nreaders + 2;
+              Metrics.add m_readers_insert 2
           | Some (l, r) ->
-              if covers l accessor && covers r accessor then
+              if covers l accessor && covers r accessor then begin
                 (* both stored readers precede the new one: it supersedes *)
-                Hashtbl.replace tbl f (accessor, accessor)
+                Hashtbl.replace tbl f (accessor, accessor);
+                Metrics.add m_readers_evict (if l == r then 1 else 2);
+                Metrics.add m_readers_insert 2
+              end
               else begin
-                let l = if more_left accessor l then accessor else l in
-                let r = if more_right accessor r then accessor else r in
-                Hashtbl.replace tbl f (l, r)
+                let l' = if more_left accessor l then accessor else l in
+                let r' = if more_right accessor r then accessor else r in
+                if l' != l || r' != r then begin
+                  let changed = (if l' != l then 1 else 0) + if r' != r then 1 else 0 in
+                  Metrics.add m_readers_evict changed;
+                  Metrics.add m_readers_insert changed
+                end;
+                Hashtbl.replace tbl f (l', r')
               end)
       | Keep_all, R_lr _ | Lr_per_future _, R_all _ -> assert false);
       note_high_water t cell.nreaders)
@@ -145,6 +172,7 @@ let striped_write t stripes locking ~loc ~accessor ~check =
               check ~prev:l ~prev_is_writer:false;
               if r != l then check ~prev:r ~prev_is_writer:false)
             tbl);
+      Metrics.add m_readers_evict cell.nreaders;
       cell.readers <- empty_readers t.policy;
       cell.nreaders <- 0;
       cell.writer <- Some accessor)
@@ -216,10 +244,14 @@ let lf_read t tbl ~loc ~accessor ~check_writer =
     let same_strand = match rs with r :: _ -> r == accessor | [] -> false in
     if not same_strand then
       if Atomic.compare_and_set cell.lf_readers rs (accessor :: rs) then begin
+        Metrics.incr m_readers_insert;
         let n = 1 + Atomic.fetch_and_add cell.lf_count 1 in
         note_high_water t n
       end
-      else push ()
+      else begin
+        Metrics.incr m_cas_retry;
+        push ()
+      end
   in
   push ();
   match Atomic.get cell.lf_writer with
@@ -233,6 +265,7 @@ let lf_write _t tbl ~loc ~accessor ~check =
   | None -> ());
   let rs = Atomic.exchange cell.lf_readers [] in
   Atomic.set cell.lf_count 0;
+  Metrics.add m_readers_evict (List.length rs);
   List.iter (fun r -> check ~prev:r ~prev_is_writer:false) rs
 
 (* -- dispatch ------------------------------------------------------------ *)

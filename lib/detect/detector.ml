@@ -8,7 +8,16 @@ type t = {
   reach_table_words : unit -> int;
   history_words : unit -> int;
   max_readers : unit -> int;
+  metrics : unit -> (string * int) list;
   supports_parallel : bool;
 }
+
+let no_metrics () = []
+
+(* The registry is process-global, so a per-instance view is a diff
+   against the registration state when the detector was made. *)
+let metrics_since_creation () =
+  let base = Sfr_obs.Metrics.snapshot () in
+  fun () -> Sfr_obs.Metrics.since base
 
 let racy_locations t = Race.racy_locations t.races

@@ -23,9 +23,23 @@ type t = {
   history_words : unit -> int;
   max_readers : unit -> int;
       (** access-history high-water mark of readers per location. *)
+  metrics : unit -> (string * int) list;
+      (** named-counter snapshot attributed to this instance (see
+          {!Sfr_obs.Metrics} and DESIGN.md §8 for the name taxonomy) —
+          e.g. the [reach.query.*] case breakdown whose entries sum to
+          [queries ()]. Meaningful only while no other detector instance
+          runs concurrently in the process; [no_metrics] otherwise. *)
   supports_parallel : bool;
       (** false for the sequential (MultiBags-style) detector, whose
           reachability is only meaningful under depth-first execution. *)
 }
 
 val racy_locations : t -> int list
+
+val no_metrics : unit -> (string * int) list
+(** Always empty — for detectors (or tests) that opt out. *)
+
+val metrics_since_creation : unit -> unit -> (string * int) list
+(** [metrics_since_creation ()] captures the global {!Sfr_obs.Metrics}
+    state now and returns a thunk reporting the growth since — the
+    standard implementation of the [metrics] field. *)

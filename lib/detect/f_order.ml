@@ -1,6 +1,13 @@
 module Events = Sfr_runtime.Events
 module Sp_order = Sfr_reach.Sp_order
 module Exit_map = Sfr_reach.Exit_map
+module Metrics = Sfr_obs.Metrics
+
+(* F-Order has no cp/gp split: a query is either within one future or a
+   scan of the accessor future's recorded NSP exits. *)
+let m_q_same = Metrics.counter "reach.query.same_future"
+let m_q_nsp = Metrics.counter "reach.query.nsp"
+let m_q_nsp_exits = Metrics.counter "reach.query.nsp_exits_scanned"
 
 type strand = {
   pos : Sp_order.pos;
@@ -22,16 +29,25 @@ let make ?(history = `Mutex) () =
   let queries = Atomic.make 0 in
   let precedes (u : strand) (v : strand) =
     Atomic.incr queries;
-    if u == v then true
-    else if u.fid = v.fid then Sp_order.precedes spo u.pos v.pos
-    else
+    if u == v then begin
+      Metrics.incr m_q_same;
+      true
+    end
+    else if u.fid = v.fid then begin
+      Metrics.incr m_q_same;
+      Sp_order.precedes spo u.pos v.pos
+    end
+    else begin
+      Metrics.incr m_q_nsp;
       (* scan F's recorded exit points: u ≺ v iff u ⪯ some exit w of its
          future from which v is reachable *)
-      List.exists
-        (fun w -> w == u.pos || Sp_order.precedes spo u.pos w)
-        (Exit_map.exits v.nsp ~fid:u.fid)
+      let exits = Exit_map.exits v.nsp ~fid:u.fid in
+      Metrics.add m_q_nsp_exits (List.length exits);
+      List.exists (fun w -> w == u.pos || Sp_order.precedes spo u.pos w) exits
+    end
   in
   let history = Access_history.create ~sync:history Access_history.Keep_all in
+  let metrics = Detector.metrics_since_creation () in
   let callbacks =
     {
       Events.on_spawn =
@@ -106,5 +122,6 @@ let make ?(history = `Mutex) () =
     reach_table_words = (fun () -> Exit_map.total_words eng);
     history_words = (fun () -> Access_history.words history);
     max_readers = (fun () -> Access_history.max_readers_at_once history);
+    metrics;
     supports_parallel = true;
   }

@@ -2,6 +2,13 @@ module Events = Sfr_runtime.Events
 module Sp_bags = Sfr_reach.Sp_bags
 module Fp_sets = Sfr_reach.Fp_sets
 module Vec = Sfr_support.Vec
+module Metrics = Sfr_obs.Metrics
+
+(* Same three-way split as SF-Order's Algorithm 1, with bags standing in
+   for the order-maintenance comparison in the first two cases. *)
+let m_q_same = Metrics.counter "reach.query.same_future"
+let m_q_cp = Metrics.counter "reach.query.cp"
+let m_q_gp = Metrics.counter "reach.query.gp"
 
 type strand = {
   frame : Sp_bags.frame;
@@ -22,14 +29,27 @@ let make () =
   let queries = ref 0 in
   let precedes (u : strand) (v : strand) =
     incr queries;
-    if u == v then true
-    else if u.fid = v.fid || Fp_sets.mem (Vec.get cp v.fid) u.fid then
+    if u == v then begin
+      Metrics.incr m_q_same;
+      true
+    end
+    else if u.fid = v.fid then begin
+      Metrics.incr m_q_same;
       (* Cases 1-2: pseudo-SP-dag reachability relative to the current
          (depth-first) execution point, via the bags *)
       Sp_bags.is_serial_with_current bags u.frame
-    else Fp_sets.mem v.gp u.fid (* Case 3 *)
+    end
+    else if Fp_sets.mem (Vec.get cp v.fid) u.fid then begin
+      Metrics.incr m_q_cp;
+      Sp_bags.is_serial_with_current bags u.frame
+    end
+    else begin
+      Metrics.incr m_q_gp;
+      Fp_sets.mem v.gp u.fid (* Case 3 *)
+    end
   in
   let history = Access_history.create ~sync:`Unsynchronized Access_history.Keep_all in
+  let metrics = Detector.metrics_since_creation () in
   let callbacks =
     {
       Events.on_spawn =
@@ -98,5 +118,6 @@ let make () =
     reach_table_words = (fun () -> Fp_sets.total_words eng);
     history_words = (fun () -> Access_history.words history);
     max_readers = (fun () -> Access_history.max_readers_at_once history);
+    metrics;
     supports_parallel = false;
   }

@@ -1,6 +1,13 @@
 module Events = Sfr_runtime.Events
 module Sp_order = Sfr_reach.Sp_order
 module Fp_sets = Sfr_reach.Fp_sets
+module Metrics = Sfr_obs.Metrics
+
+(* Query-case breakdown of Algorithm 1 (Lemmas 3.4-3.9): the three
+   counters partition every Precedes call, so they sum to [queries ()]. *)
+let m_q_same = Metrics.counter "reach.query.same_future"
+let m_q_cp = Metrics.counter "reach.query.cp"
+let m_q_gp = Metrics.counter "reach.query.gp"
 
 (* Per-strand detector state — the paper's "node". The [gp] table is the
    strand's reference-counted future set; the [block] is its frame's
@@ -33,11 +40,22 @@ let make_with_precedes ?(readers = `All) ?(sets = `Bitmap) ?(history = `Mutex) (
      currently executing strand v. *)
   let precedes (u : strand) (v : strand) =
     Atomic.incr queries;
-    if u == v then true
-    else if u.fid = v.fid then Sp_order.precedes spo u.pos v.pos
-    else if Fp_sets.mem (Atomic.get cp).(v.fid) u.fid then
+    if u == v then begin
+      Metrics.incr m_q_same;
+      true
+    end
+    else if u.fid = v.fid then begin
+      Metrics.incr m_q_same;
       Sp_order.precedes spo u.pos v.pos
-    else Fp_sets.mem v.gp u.fid
+    end
+    else if Fp_sets.mem (Atomic.get cp).(v.fid) u.fid then begin
+      Metrics.incr m_q_cp;
+      Sp_order.precedes spo u.pos v.pos
+    end
+    else begin
+      Metrics.incr m_q_gp;
+      Fp_sets.mem v.gp u.fid
+    end
   in
   let policy =
     match readers with
@@ -52,6 +70,7 @@ let make_with_precedes ?(readers = `All) ?(sets = `Bitmap) ?(history = `Mutex) (
           }
   in
   let history = Access_history.create ~sync:history policy in
+  let metrics = Detector.metrics_since_creation () in
   let callbacks =
     {
       Events.on_spawn =
@@ -128,6 +147,7 @@ let make_with_precedes ?(readers = `All) ?(sets = `Bitmap) ?(history = `Mutex) (
     reach_table_words = (fun () -> Fp_sets.total_words eng);
     history_words = (fun () -> Access_history.words history);
     max_readers = (fun () -> Access_history.max_readers_at_once history);
+    metrics;
     supports_parallel = true;
   },
     fun u v -> precedes (as_sf u) (as_sf v) )

@@ -40,3 +40,11 @@ val ablation_history : scale:Sfr_workloads.Workload.scale -> repeats:int -> unit
 
 val ablation_sets : scale:Sfr_workloads.Workload.scale -> repeats:int -> unit
 val ablation_readers : scale:Sfr_workloads.Workload.scale -> repeats:int -> unit
+
+val profile :
+  scale:Sfr_workloads.Workload.scale -> repeats:int -> out:string -> unit
+(** Run full detection for every workload × detector configuration and
+    dump each run's {!Sfr_obs.Metrics} snapshot (plus timing and the
+    classic introspection fields) as JSON to [out] — the cross-PR
+    trajectory artifact behind [bench profile]. Also prints a summary
+    table. *)

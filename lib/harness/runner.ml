@@ -20,6 +20,7 @@ type measurement = {
   history_words : int;
   max_readers : int;
   racy_locations : int;
+  metrics : (string * int) list;
 }
 
 let reach_only (cb : Events.callbacks) =
@@ -65,16 +66,18 @@ let time_serial ~repeats make_instance mode =
         dt
   in
   let times = List.init repeats (fun _ -> one ()) in
-  let queries, reach_words, reach_table_words, history_words, max_readers, racy =
+  let queries, reach_words, reach_table_words, history_words, max_readers, racy,
+      metrics =
     match !last_detector with
-    | None -> (0, 0, 0, 0, 0, 0)
+    | None -> (0, 0, 0, 0, 0, 0, [])
     | Some det ->
         ( det.Detector.queries (),
           det.Detector.reach_words (),
           det.Detector.reach_table_words (),
           det.Detector.history_words (),
           det.Detector.max_readers (),
-          List.length (Detector.racy_locations det) )
+          List.length (Detector.racy_locations det),
+          det.Detector.metrics () )
   in
   {
     seconds = Stats.mean times;
@@ -85,6 +88,7 @@ let time_serial ~repeats make_instance mode =
     history_words;
     max_readers;
     racy_locations = racy;
+    metrics;
   }
 
 type recorded = {

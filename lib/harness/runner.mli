@@ -24,6 +24,9 @@ type measurement = {
   history_words : int;
   max_readers : int;
   racy_locations : int;
+  metrics : (string * int) list;
+      (** the last repeat's {!Sfr_detect.Detector}[.metrics] snapshot —
+          named counters attributed to that detector instance. *)
 }
 
 val time_serial :

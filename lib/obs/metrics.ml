@@ -1,0 +1,178 @@
+(* Counters are arrays of per-domain slots of plain mutable ints. A slot
+   is only ever written by domains whose ID is congruent to its index
+   modulo [nslots]; domain IDs are consecutive, so under fewer than
+   [nslots] domains each slot has a unique writer and merging at snapshot
+   time is exact. Slots are separate heap blocks, so two domains never
+   bounce the same cache line on their hot increments. Snapshot reads are
+   unsynchronized (a torn *count* is impossible for an immediate int;
+   a slightly stale one is acceptable for reporting). *)
+
+let nslots = 128
+let slot_mask = nslots - 1
+
+type slot = { mutable v : int }
+
+type kind = Sum | Max
+
+type counter = { c_kind : kind; c_slots : slot array }
+
+type histogram = { h_slots : int array array }
+
+let nbuckets = 64
+
+type metric = Counter of counter | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_mu = Mutex.create ()
+let on = Atomic.make true
+
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+let enabled () = Atomic.get on
+
+let slot_index () = (Domain.self () :> int) land slot_mask
+
+let counter ?(kind = `Sum) name =
+  let kind = match kind with `Sum -> Sum | `Max -> Max in
+  Mutex.lock registry_mu;
+  let c =
+    match Hashtbl.find_opt registry name with
+    | Some (Counter c) when c.c_kind = kind -> c
+    | Some _ ->
+        Mutex.unlock registry_mu;
+        invalid_arg
+          (Printf.sprintf "Metrics.counter: %S already registered differently"
+             name)
+    | None ->
+        let c = { c_kind = kind; c_slots = Array.init nslots (fun _ -> { v = 0 }) } in
+        Hashtbl.add registry name (Counter c);
+        c
+  in
+  Mutex.unlock registry_mu;
+  c
+
+let add c n =
+  if Atomic.get on then begin
+    let slot = c.c_slots.(slot_index ()) in
+    match c.c_kind with
+    | Sum -> slot.v <- slot.v + n
+    | Max -> if n > slot.v then slot.v <- n
+  end
+
+let incr c = add c 1
+
+let merge_counter c =
+  match c.c_kind with
+  | Sum -> Array.fold_left (fun acc s -> acc + s.v) 0 c.c_slots
+  | Max -> Array.fold_left (fun acc s -> max acc s.v) 0 c.c_slots
+
+let value = merge_counter
+
+let histogram name =
+  Mutex.lock registry_mu;
+  let h =
+    match Hashtbl.find_opt registry name with
+    | Some (Histogram h) -> h
+    | Some (Counter _) ->
+        Mutex.unlock registry_mu;
+        invalid_arg
+          (Printf.sprintf "Metrics.histogram: %S already registered as a counter"
+             name)
+    | None ->
+        let h = { h_slots = Array.init nslots (fun _ -> Array.make nbuckets 0) } in
+        Hashtbl.add registry name (Histogram h);
+        h
+  in
+  Mutex.unlock registry_mu;
+  h
+
+let bucket_index v =
+  if v <= 1 then 0
+  else begin
+    (* smallest i with v <= 2^i *)
+    let rec go i bound =
+      if i >= nbuckets - 1 || bound >= v then i else go (i + 1) (bound * 2)
+    in
+    go 0 1
+  end
+
+let bucket_bound i = if i >= nbuckets - 1 then max_int else 1 lsl i
+
+let observe h v =
+  if Atomic.get on then begin
+    let row = h.h_slots.(slot_index ()) in
+    let i = bucket_index v in
+    row.(i) <- row.(i) + 1
+  end
+
+let merge_buckets h =
+  let acc = Array.make nbuckets 0 in
+  Array.iter (fun row -> Array.iteri (fun i n -> acc.(i) <- acc.(i) + n) row) h.h_slots;
+  acc
+
+let buckets h =
+  let acc = merge_buckets h in
+  let out = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if acc.(i) > 0 then out := (bucket_bound i, acc.(i)) :: !out
+  done;
+  !out
+
+(* -- snapshots ---------------------------------------------------------- *)
+
+let snapshot_entries () =
+  Mutex.lock registry_mu;
+  let entries =
+    Hashtbl.fold
+      (fun name m acc ->
+        match m with
+        | Counter c -> (name, c.c_kind, merge_counter c) :: acc
+        | Histogram h ->
+            let bs = merge_buckets h in
+            let total = Array.fold_left ( + ) 0 bs in
+            let acc = (name ^ ".count", Sum, total) :: acc in
+            let acc = ref acc in
+            Array.iteri
+              (fun i n ->
+                if n > 0 then
+                  let label =
+                    if i >= nbuckets - 1 then name ^ ".le_inf"
+                    else Printf.sprintf "%s.le_%d" name (bucket_bound i)
+                  in
+                  acc := (label, Sum, n) :: !acc)
+              bs;
+            !acc)
+      registry []
+  in
+  Mutex.unlock registry_mu;
+  List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) entries
+
+let snapshot () = List.map (fun (n, _, v) -> (n, v)) (snapshot_entries ())
+
+let since base =
+  List.map
+    (fun (name, kind, v) ->
+      match kind with
+      | Max -> (name, v)
+      | Sum ->
+          let b = match List.assoc_opt name base with Some b -> b | None -> 0 in
+          (name, max 0 (v - b)))
+    (snapshot_entries ())
+
+let reset () =
+  Mutex.lock registry_mu;
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> Array.iter (fun s -> s.v <- 0) c.c_slots
+      | Histogram h -> Array.iter (fun row -> Array.fill row 0 nbuckets 0) h.h_slots)
+    registry;
+  Mutex.unlock registry_mu
+
+let pp_table ppf entries =
+  let width =
+    List.fold_left (fun w (n, _) -> max w (String.length n)) 0 entries
+  in
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "  %-*s %d@." width name v)
+    entries

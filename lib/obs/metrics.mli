@@ -1,0 +1,87 @@
+(** Domain-safe metrics registry: named counters and log-scale histograms.
+
+    The instrumentation budget is set by the paper's own accounting
+    question — where does detection time go (reachability query cases, OM
+    relabels, access-history locking)? — so the primitives are built to be
+    compiled into hot paths:
+
+    - a counter is an array of per-domain slots of plain mutable ints; an
+      increment touches only the caller's slot (no contended atomics), and
+      slots are summed (or maxed) at snapshot time;
+    - a histogram is a per-domain row of fixed power-of-two buckets.
+
+    Slots are indexed by [Domain.self () land 127]: exact as long as no
+    two concurrently live domains share an ID modulo 128 (domain IDs are
+    assigned consecutively, so the first 128 domains of a process are
+    always exact; a collision can only lose increments, never crash).
+
+    Counters are process-global and registered by name (repeated
+    registration returns the same counter). Per-run attribution is done
+    with {!snapshot} / {!since}: capture a snapshot before the run and
+    diff after, as {!Sfr_detect.Detector}[.metrics] does.
+
+    {!disable} is the escape hatch for timing runs: every [incr]/[add]/
+    [observe] degrades to one atomic flag load and a branch. *)
+
+type counter
+
+val counter : ?kind:[ `Sum | `Max ] -> string -> counter
+(** Register (or look up) the counter named [name]. [`Sum] (default)
+    merges slots by addition; [`Max] merges by maximum and [add] records
+    a high-water mark instead of accumulating.
+    @raise Invalid_argument if [name] is already registered with a
+    different kind, or as a histogram. *)
+
+val incr : counter -> unit
+(** [incr c] is [add c 1]. *)
+
+val add : counter -> int -> unit
+(** Add [n] to (or, for [`Max] counters, fold [n] into the maximum of)
+    the calling domain's slot. No-op while disabled. *)
+
+val value : counter -> int
+(** Merged value across all domain slots. *)
+
+type histogram
+
+val histogram : string -> histogram
+(** Register (or look up) a histogram. Bucket [i] counts observations [v]
+    with [2{^i-1} < v <= 2{^i}] (bucket 0 also absorbs [v <= 1]); the
+    last bucket absorbs everything larger.
+    @raise Invalid_argument on a name clash with a counter. *)
+
+val observe : histogram -> int -> unit
+
+val buckets : histogram -> (int * int) list
+(** [(inclusive upper bound, merged count)] per bucket, ascending, with
+    empty buckets elided; the unbounded overflow bucket reports
+    [max_int]. *)
+
+val bucket_index : int -> int
+(** The bucket an observation falls into — exposed so tests can pin the
+    boundary behaviour. *)
+
+val snapshot : unit -> (string * int) list
+(** Every registered metric, merged, sorted by name. Histograms appear as
+    [name.le<bound>] entries for each non-empty bucket plus a
+    [name.count] total. *)
+
+val since : (string * int) list -> (string * int) list
+(** [since base] is the current snapshot with [base] subtracted
+    entrywise (clamped at 0). [`Max] counters are not subtracted — their
+    current high-water value is reported as is. *)
+
+val reset : unit -> unit
+(** Zero every slot of every registered metric. Names stay registered. *)
+
+val disable : unit -> unit
+(** Turn every recording primitive into a near-free no-op (snapshots
+    still work and report whatever was recorded before). *)
+
+val enable : unit -> unit
+
+val enabled : unit -> bool
+
+val pp_table : Format.formatter -> (string * int) list -> unit
+(** Render a snapshot as an aligned two-column table, one metric per
+    line. *)

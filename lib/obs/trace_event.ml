@@ -1,0 +1,115 @@
+(* Chrome trace_event JSON emitter (the "JSON Array/Object Format" that
+   chrome://tracing and Perfetto load). Collection is opt-in: while off,
+   [with_span] costs a flag load and runs its thunk directly. While on,
+   events append to a mutex-guarded buffer — span emission happens on
+   parallel-construct events (create/get/steal), not per memory access,
+   so the lock is not on the detectors' hot path. *)
+
+type phase = Complete | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  ph : phase;
+  ts : float; (* microseconds since trace start *)
+  dur : float; (* microseconds; Complete only *)
+  pid : int;
+  tid : int;
+}
+
+let on = Atomic.make false
+let mu = Mutex.create ()
+let buf : event list ref = ref []
+let epoch = ref 0.0
+
+let now_us () = (Unix.gettimeofday () -. !epoch) *. 1e6
+
+let clear () =
+  Mutex.lock mu;
+  buf := [];
+  Mutex.unlock mu
+
+let start () =
+  clear ();
+  epoch := Unix.gettimeofday ();
+  Atomic.set on true
+
+let stop () = Atomic.set on false
+
+let is_on () = Atomic.get on
+
+let push e =
+  Mutex.lock mu;
+  buf := e :: !buf;
+  Mutex.unlock mu
+
+let tid () = (Domain.self () :> int)
+
+let emit ?(cat = "sfr") name ph ~ts ~dur =
+  push { name; cat; ph; ts; dur; pid = 1; tid = tid () }
+
+let instant ?cat name =
+  if Atomic.get on then emit ?cat name Instant ~ts:(now_us ()) ~dur:0.0
+
+let with_span ?cat name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let t0 = now_us () in
+    Fun.protect
+      ~finally:(fun () -> emit ?cat name Complete ~ts:t0 ~dur:(now_us () -. t0))
+      f
+  end
+
+let events () =
+  Mutex.lock mu;
+  let es = List.rev !buf in
+  Mutex.unlock mu;
+  es
+
+(* -- JSON rendering ----------------------------------------------------- *)
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let render_event b e =
+  Buffer.add_string b "{\"name\":\"";
+  escape b e.name;
+  Buffer.add_string b "\",\"cat\":\"";
+  escape b e.cat;
+  Buffer.add_string b "\",\"ph\":\"";
+  Buffer.add_string b (match e.ph with Complete -> "X" | Instant -> "i");
+  Buffer.add_string b "\"";
+  (match e.ph with
+  | Instant -> Buffer.add_string b ",\"s\":\"t\""
+  | Complete -> Buffer.add_string b (Printf.sprintf ",\"dur\":%.3f" e.dur));
+  Buffer.add_string b
+    (Printf.sprintf ",\"ts\":%.3f,\"pid\":%d,\"tid\":%d}" e.ts e.pid e.tid)
+
+let to_json_string () =
+  let es = events () in
+  let b = Buffer.create (256 + (96 * List.length es)) in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      render_event b e)
+    es;
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents b
+
+let write_file path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json_string ()))

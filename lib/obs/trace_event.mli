@@ -1,0 +1,50 @@
+(** Chrome [trace_event]-format span collection.
+
+    Produces the JSON Array/Object Format that chrome://tracing and
+    Perfetto load: a [traceEvents] array of complete ([ph:"X"], with
+    [ts]/[dur] in microseconds) and instant ([ph:"i"]) events, one track
+    per domain ([tid] = domain ID).
+
+    Collection is process-global and off by default. While off,
+    {!with_span} runs its thunk after a single atomic flag load, so the
+    runtime layers keep their span hooks compiled in (the executors wrap
+    strand create/get/steal — see {!Sfr_runtime.Serial_exec} and
+    {!Sfr_runtime.Par_exec}). *)
+
+type phase = Complete | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  ph : phase;
+  ts : float;  (** microseconds since {!start} *)
+  dur : float;  (** microseconds; meaningful for [Complete] only *)
+  pid : int;
+  tid : int;  (** domain ID *)
+}
+
+val start : unit -> unit
+(** Clear the buffer and begin collecting; timestamps are relative to
+    this call. *)
+
+val stop : unit -> unit
+(** Stop collecting. Buffered events survive until {!clear} or the next
+    {!start}. *)
+
+val is_on : unit -> bool
+
+val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] and, while collection is on, records a
+    complete event covering it (also on exception). *)
+
+val instant : ?cat:string -> string -> unit
+
+val events : unit -> event list
+(** Buffered events in emission order. *)
+
+val to_json_string : unit -> string
+
+val write_file : string -> unit
+(** Write the buffered trace as chrome://tracing-loadable JSON. *)
+
+val clear : unit -> unit

@@ -46,6 +46,14 @@ type t = {
   version : int Atomic.t;
 }
 
+(* Observability: relabel storms are the OM cost the paper's analysis
+   amortizes away; the counters let the ablations see them. *)
+module Metrics = Sfr_obs.Metrics
+
+let m_relabels = Metrics.counter "om.relabels"
+let m_splits = Metrics.counter "om.splits"
+let m_relabel_span = Metrics.counter ~kind:`Max "om.relabel.max_span"
+
 let group_bits = 60
 let group_label_limit = 1 lsl group_bits
 let item_bits = 30
@@ -82,6 +90,8 @@ let end_relabel t = Atomic.incr t.version
    universe. O(ngroups); triggered only when a dyadic range relabel cannot
    find room (pathological) or the tail runs out of space. *)
 let relabel_all_groups t =
+  Metrics.incr m_relabels;
+  Metrics.add m_relabel_span t.ngroups;
   begin_relabel t;
   let gap = max 1 (group_label_limit / (t.ngroups + 1)) in
   let rec loop g label =
@@ -126,6 +136,8 @@ let rebalance_groups_around t g =
       (* need even spreading to leave >= 2 of label room between neighbors,
          so a midpoint insertion after the retry is guaranteed to fit *)
       if float_of_int !count < !threshold && 2 * (!count + 1) <= size then begin
+        Metrics.incr m_relabels;
+        Metrics.add m_relabel_span !count;
         begin_relabel t;
         let gap = size / (!count + 1) in
         let c = ref !leftmost in
@@ -172,6 +184,7 @@ let rec insert_group_after t g =
 
 (* Spread the labels of [g]'s items evenly across the item label space. *)
 let relabel_group t (g : group) =
+  Metrics.incr m_relabels;
   begin_relabel t;
   let gap = max 1 (item_label_limit / (g.count + 1)) in
   let rec loop (x : item) j =
@@ -183,6 +196,7 @@ let relabel_group t (g : group) =
 
 (* Move the second half of [g] into a fresh group placed right after it. *)
 let split_group t (g : group) =
+  Metrics.incr m_splits;
   let ng = insert_group_after t g in
   let half = g.count / 2 in
   (* find the first item of the second half *)

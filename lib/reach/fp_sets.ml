@@ -1,4 +1,10 @@
 module Bitset = Sfr_support.Bitset
+module Metrics = Sfr_obs.Metrics
+
+(* Observability: bitmap-word growth across all engines in the process —
+   the live/total Atomics below stay per-engine for Figure 5. *)
+let m_allocs = Metrics.counter "reach.table.allocs"
+let m_alloc_words = Metrics.counter "reach.table.alloc_words"
 
 type backend = Bitmap | Hashed
 
@@ -75,6 +81,8 @@ let bump_peak eng =
 let account_alloc eng tbl =
   Atomic.incr eng.allocs;
   let w = repr_words tbl.repr in
+  Metrics.incr m_allocs;
+  Metrics.add m_alloc_words w;
   ignore (Atomic.fetch_and_add eng.live w);
   ignore (Atomic.fetch_and_add eng.total w);
   bump_peak eng

@@ -1,4 +1,11 @@
 module Om = Sfr_om.Om
+module Metrics = Sfr_obs.Metrics
+
+(* Per-structure accounting: how many OM insertions each pseudo-SP-dag
+   event costs (spawn = 4-5, sync = 1, step = 2). *)
+let m_spawns = Metrics.counter "reach.sporder.spawns"
+let m_syncs = Metrics.counter "reach.sporder.syncs"
+let m_steps = Metrics.counter "reach.sporder.steps"
 
 type t = { eng : Om.t; heb : Om.t }
 
@@ -12,6 +19,7 @@ let create () =
   ({ eng; heb }, { e = ebase; h = hbase })
 
 let spawn t ~cur ~block =
+  Metrics.incr m_spawns;
   (* English: u < c < t.  Hebrew: u < t < c (< j). *)
   let ce = Om.insert_after t.eng cur.e in
   let te = Om.insert_after t.eng ce in
@@ -27,9 +35,12 @@ let spawn t ~cur ~block =
 let sync t ~cur ~block =
   match block with
   | None -> cur
-  | Some b -> { e = Om.insert_after t.eng cur.e; h = b.j }
+  | Some b ->
+      Metrics.incr m_syncs;
+      { e = Om.insert_after t.eng cur.e; h = b.j }
 
 let step t ~cur =
+  Metrics.incr m_steps;
   { e = Om.insert_after t.eng cur.e; h = Om.insert_after t.heb cur.h }
 
 let precedes t u v =

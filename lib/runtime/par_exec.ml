@@ -1,5 +1,14 @@
 type task = unit -> unit
 
+module Metrics = Sfr_obs.Metrics
+module Trace_event = Sfr_obs.Trace_event
+
+let m_spawns = Metrics.counter "runtime.spawns"
+let m_creates = Metrics.counter "runtime.creates"
+let m_gets = Metrics.counter "runtime.gets"
+let m_tasks = Metrics.counter "runtime.tasks"
+let m_steals = Metrics.counter "runtime.steals"
+
 (* -- per-worker deque: LIFO at the bottom (owner), FIFO steals at the
    top. A mutex-protected ring buffer: simple, correct, and uncontended
    enough for the worker counts we target (the paper's bottleneck is the
@@ -150,6 +159,7 @@ let rec exec_frame sched (body : frame -> unit) =
           | Program.Spawn f ->
               Some
                 (fun (k : (b, _) Effect.Deep.continuation) ->
+                  Metrics.incr m_spawns;
                   let child_state, cont_state = sched.cb.Events.on_spawn (get_cur ()) in
                   Mutex.lock frame.fmu;
                   frame.outstanding <- frame.outstanding + 1;
@@ -167,6 +177,8 @@ let rec exec_frame sched (body : frame -> unit) =
           | Program.Create f ->
               Some
                 (fun (k : (b, _) Effect.Deep.continuation) ->
+                  Metrics.incr m_creates;
+                  Trace_event.instant ~cat:"runtime" "create";
                   let h = Program.Handle.make () in
                   let child_state, cont_state = sched.cb.Events.on_create (get_cur ()) in
                   Mutex.lock frame.fmu;
@@ -206,6 +218,8 @@ let rec exec_frame sched (body : frame -> unit) =
           | Program.Get h ->
               Some
                 (fun (k : (b, _) Effect.Deep.continuation) ->
+                  Metrics.incr m_gets;
+                  Trace_event.instant ~cat:"runtime" "get";
                   Program.Handle.claim_touch h;
                   let saved = get_cur () in
                   let resume () =
@@ -245,7 +259,10 @@ let find_task sched me =
         else
           let victim = (me + 1 + i) mod n in
           match Deque.steal_top sched.deques.(victim) with
-          | Some t -> Some t
+          | Some t ->
+              Metrics.incr m_steals;
+              Trace_event.instant ~cat:"runtime" "steal";
+              Some t
           | None -> try_steal (i + 1)
       in
       try_steal 0
@@ -261,7 +278,8 @@ let worker_loop sched me =
       match find_task sched me with
       | Some t ->
           idle_spins := 0;
-          (try t ()
+          Metrics.incr m_tasks;
+          (try Trace_event.with_span ~cat:"runtime" "task" t
            with e ->
              ignore
                (Atomic.compare_and_set sched.failure None (Some e)));

@@ -1,3 +1,10 @@
+module Metrics = Sfr_obs.Metrics
+module Trace_event = Sfr_obs.Trace_event
+
+let m_spawns = Metrics.counter "runtime.spawns"
+let m_creates = Metrics.counter "runtime.creates"
+let m_gets = Metrics.counter "runtime.gets"
+
 type frame = {
   mutable spawned_lasts : Events.state list;
   mutable created_firsts : Events.state list;
@@ -28,9 +35,11 @@ let run (cb : Events.callbacks) ~root main =
               | Program.Spawn f ->
                   Some
                     (fun (k : (b, _) Effect.Deep.continuation) ->
+                      Metrics.incr m_spawns;
                       let child_state, cont_state = cb.on_spawn !cur in
                       cur := child_state;
-                      exec_frame f;
+                      Trace_event.with_span ~cat:"runtime" "spawn" (fun () ->
+                          exec_frame f);
                       let child_last = !cur in
                       cb.on_returned ~cont:cont_state ~child_last;
                       fr.spawned_lasts <- child_last :: fr.spawned_lasts;
@@ -44,11 +53,15 @@ let run (cb : Events.callbacks) ~root main =
               | Program.Create f ->
                   Some
                     (fun (k : (b, _) Effect.Deep.continuation) ->
+                      Metrics.incr m_creates;
                       let h = Program.Handle.make () in
                       let child_state, cont_state = cb.on_create !cur in
                       fr.created_firsts <- child_state :: fr.created_firsts;
                       cur := child_state;
-                      let r = exec_frame f in
+                      let r =
+                        Trace_event.with_span ~cat:"runtime" "create" (fun () ->
+                            exec_frame f)
+                      in
                       (* the future task's frame-end sync ran inside
                          exec_frame; the resulting strand is its put node *)
                       cb.on_put !cur;
@@ -59,6 +72,8 @@ let run (cb : Events.callbacks) ~root main =
               | Program.Get h ->
                   Some
                     (fun (k : (b, _) Effect.Deep.continuation) ->
+                      Metrics.incr m_gets;
+                      Trace_event.instant ~cat:"runtime" "get";
                       (match Program.Handle.status h with
                       | Program.Handle.Done -> ()
                       | Program.Handle.Running ->

@@ -9,13 +9,17 @@ let stddev = function
       let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
       sqrt (ss /. float_of_int (List.length xs - 1))
 
+(* Float.compare, not polymorphic compare: the latter raises no error on
+   floats but orders nan unpredictably relative to IEEE comparisons; with
+   Float.compare, nan sorts below every number, deterministically. The
+   array sort also replaces the former O(n^2) List.nth walk. *)
 let median xs =
-  match List.sort compare xs with
-  | [] -> nan
-  | sorted ->
-      let n = List.length sorted in
-      let nth i = List.nth sorted i in
-      if n mod 2 = 1 then nth (n / 2) else (nth ((n / 2) - 1) +. nth (n / 2)) /. 2.0
+  match Array.of_list xs with
+  | [||] -> nan
+  | a ->
+      Array.sort Float.compare a;
+      let n = Array.length a in
+      if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
 
 let min_max = function
   | [] -> (nan, nan)

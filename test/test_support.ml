@@ -243,7 +243,18 @@ let test_stats_stddev () =
 
 let test_stats_median () =
   check flt "odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
-  check flt "even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ])
+  check flt "even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ]);
+  check bool "empty is nan" true (Float.is_nan (Stats.median []))
+
+let test_stats_median_nan () =
+  (* Float.compare sorts nan below every number, so the result is
+     deterministic — unlike polymorphic compare, whose nan ordering is
+     unspecified and could make the median depend on input order. *)
+  check bool "all-nan is nan" true (Float.is_nan (Stats.median [ nan ]));
+  check flt "nan sorts first (odd)" 1.0 (Stats.median [ 1.0; nan; 3.0 ]);
+  check flt "nan sorts first, any order" 1.0 (Stats.median [ 3.0; 1.0; nan ]);
+  check flt "nan sorts first (even)" 1.5
+    (Stats.median [ nan; 2.0; 1.0; 7.0 ])
 
 let test_stats_minmax () =
   let lo, hi = Stats.min_max [ 3.0; -1.0; 7.0 ] in
@@ -324,6 +335,7 @@ let () =
           Alcotest.test_case "mean" `Quick test_stats_mean;
           Alcotest.test_case "stddev" `Quick test_stats_stddev;
           Alcotest.test_case "median" `Quick test_stats_median;
+          Alcotest.test_case "median nan" `Quick test_stats_median_nan;
           Alcotest.test_case "min_max" `Quick test_stats_minmax;
           Alcotest.test_case "repeat_timed" `Quick test_stats_repeat;
         ] );
