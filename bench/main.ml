@@ -93,22 +93,77 @@ let micro () =
     tests
 
 (* ---------------------------------------------------------------- *)
+(* chaos soak                                                         *)
+(* ---------------------------------------------------------------- *)
+
+(* Differential soak across the detector matrix: every detector, with and
+   without synthetic faults, against the serial oracle. Exits nonzero on
+   any mismatch, so it can gate CI the way the figures gate the paper. *)
+let soak ~seeds ~workers =
+  let module Chaos = Sfr_chaos.Chaos in
+  let module Runner = Sfr_chaos_driver.Chaos_runner in
+  Printf.printf "Chaos soak: %d seeds per cell, %d workers\n" seeds workers;
+  let detectors =
+    [
+      ("sf-order", fun () -> Sfr_detect.Sf_order.make ());
+      ("sf-order-2pf", fun () -> Sfr_detect.Sf_order.make ~readers:`Two_per_future ());
+      ("f-order", fun () -> Sfr_detect.F_order.make ());
+      ("multibags", fun () -> Sfr_detect.Multibags.make ());
+    ]
+  in
+  let failed = ref false in
+  List.iter
+    (fun (name, make) ->
+      List.iter
+        (fun fault_rate ->
+          let chaos =
+            if fault_rate > 0.0 then
+              { Chaos.default_config with Chaos.fault_rate }
+            else Chaos.default_config
+          in
+          let cfg =
+            {
+              Runner.default_config with
+              Runner.seeds;
+              workers;
+              chaos = Some chaos;
+              shrink = true;
+            }
+          in
+          let r = Runner.run cfg ~make in
+          Printf.printf
+            "  %-14s fault %.2f: %3d matched, %3d faults surfaced, %d mismatches\n%!"
+            name fault_rate r.Runner.matched r.Runner.faults_surfaced
+            (List.length r.Runner.mismatches);
+          List.iter
+            (fun m -> Format.printf "    MISMATCH %a@." Runner.pp_mismatch m)
+            r.Runner.mismatches;
+          if r.Runner.mismatches <> [] then failed := true)
+        [ 0.0; 0.02 ])
+    detectors;
+  if !failed then begin
+    prerr_endline "chaos soak FAILED";
+    exit 1
+  end
+
+(* ---------------------------------------------------------------- *)
 (* argument handling                                                  *)
 (* ---------------------------------------------------------------- *)
 
 let usage () =
   prerr_endline
     "usage: main.exe [fig3|fig4|fig5|sweep|ablation-locks|ablation-sets|\n\
-    \                 ablation-readers|ablation-history|profile|micro|all]\n\
+    \                 ablation-readers|ablation-history|profile|micro|soak|all]\n\
     \                [--scale tiny|small|default|large|paper] [--repeats N]\n\
-    \                [--workers P] [--trace-out FILE] [--profile-out FILE]\n\
-    \                [--no-metrics]";
+    \                [--workers P] [--seeds N] [--trace-out FILE]\n\
+    \                [--profile-out FILE] [--no-metrics]";
   exit 2
 
 let () =
   let scale = ref Workload.Default in
   let repeats = ref 2 in
   let workers = ref 20 in
+  let seeds = ref 50 in
   let command = ref "all" in
   let trace_out = ref None in
   let profile_out = ref "BENCH_profile.json" in
@@ -129,6 +184,11 @@ let () =
         | Some n when n > 0 -> workers := n
         | Some _ | None -> usage ());
         parse rest
+    | "--seeds" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n > 0 -> seeds := n
+        | Some _ | None -> usage ());
+        parse rest
     | "--trace-out" :: f :: rest ->
         trace_out := Some f;
         parse rest
@@ -145,6 +205,7 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let scale = !scale and repeats = !repeats and workers = !workers in
+  let seeds = !seeds in
   let rec run = function
     | "fig3" -> Figures.fig3 ~scale
     | "motivation" -> Figures.motivation ~scale
@@ -162,6 +223,7 @@ let () =
           Printf.eprintf "cannot write profile: %s\n" msg;
           exit 2)
     | "micro" -> micro ()
+    | "soak" -> soak ~seeds ~workers:(min workers 8)
     | "all" ->
         List.iter
           (fun c ->

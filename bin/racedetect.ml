@@ -292,7 +292,13 @@ let analyze_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Trace file.")
   in
   let run file =
-    let dag, accesses = Sfr_dag.Dag_io.load_file file in
+    let dag, accesses =
+      match Sfr_dag.Dag_io.load_file_result file with
+      | Ok v -> v
+      | Error e ->
+          Printf.eprintf "%s: %s\n" file (Sfr_dag.Dag_io.parse_error_to_string e);
+          exit 2
+    in
     let module Dag = Sfr_dag.Dag in
     let module Dag_algo = Sfr_dag.Dag_algo in
     let module Dag_check = Sfr_dag.Dag_check in
@@ -392,7 +398,124 @@ let synth_cmd =
       const run $ seed $ ops $ depth $ locs $ detector $ oracle $ no_verify
       $ stats)
 
+(* -- chaos -------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let doc =
+    "Differential soak: random programs under seeded fault injection, \
+     parallel detector vs serial oracle, shrinking failures."
+  in
+  let seeds =
+    Arg.(value & opt int 50 & info [ "seeds" ] ~doc:"Number of seeds to sweep.")
+  in
+  let base_seed =
+    Arg.(value & opt int 1 & info [ "base-seed" ] ~doc:"First seed.")
+  in
+  let ops =
+    Arg.(value & opt int 120 & info [ "ops" ] ~doc:"Op budget per program.")
+  in
+  let depth = Arg.(value & opt int 4 & info [ "depth" ] ~doc:"Nesting depth.") in
+  let locs = Arg.(value & opt int 6 & info [ "locs" ] ~doc:"Shared locations.") in
+  let detector =
+    Arg.(
+      value
+      & opt detector_conv (fun () -> Sf_order.make ())
+      & info [ "d"; "detector" ] ~doc:"Detector to soak.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 4
+      & info [ "j"; "workers" ] ~doc:"Parallel workers (1 forces serial).")
+  in
+  let no_chaos =
+    Arg.(
+      value & flag
+      & info [ "no-chaos" ] ~doc:"Disable injection (pure differential sweep).")
+  in
+  let fault_rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fault-rate" ]
+          ~doc:
+            "Probability of raising a synthetic fault at each eligible chaos \
+             point (exercises the exception-safety paths; faulted seeds are \
+             counted, not compared).")
+  in
+  let shrink =
+    Arg.(
+      value & flag
+      & info [ "shrink" ] ~doc:"Delta-debug failures to minimal reproducers.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR" ~doc:"Dump failing programs as sfdag files.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print chaos metric counters.")
+  in
+  let run seeds base_seed ops depth locs make_det workers no_chaos fault_rate
+      shrink out stats =
+    let module Chaos = Sfr_chaos.Chaos in
+    let module Runner = Sfr_chaos_driver.Chaos_runner in
+    let chaos =
+      if no_chaos then None
+      else
+        Some
+          (if fault_rate > 0.0 then
+             { Chaos.default_config with Chaos.fault_rate }
+           else Chaos.default_config)
+    in
+    let cfg =
+      {
+        Runner.seeds;
+        base_seed;
+        ops;
+        depth;
+        locs;
+        workers;
+        chaos;
+        shrink;
+        out_dir = out;
+      }
+    in
+    Printf.printf
+      "chaos: %d seeds, %d workers, injection %s, fault rate %.3f, shrink %b\n%!"
+      seeds workers
+      (if no_chaos then "off" else "on")
+      fault_rate shrink;
+    let report, dt =
+      Stats.time (fun () ->
+          Runner.run cfg ~make:make_det ~progress:(fun n ->
+              if n mod 25 = 0 then Printf.printf "  ...%d/%d seeds\n%!" n seeds))
+    in
+    Printf.printf
+      "swept %d seeds in %.3f s: %d matched, %d faults surfaced, %d faults \
+       injected, %d mismatches\n"
+      report.Runner.seeds_run dt report.Runner.matched
+      report.Runner.faults_surfaced report.Runner.injected
+      (List.length report.Runner.mismatches);
+    List.iter
+      (fun m -> Format.printf "  MISMATCH %a@." Runner.pp_mismatch m)
+      report.Runner.mismatches;
+    if stats then begin
+      print_endline "-- metrics ----------------------------------------";
+      print_string
+        (Format.asprintf "%a" Sfr_obs.Metrics.pp_table
+           (Sfr_obs.Metrics.snapshot ()))
+    end;
+    if report.Runner.mismatches <> [] then exit 1
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const run $ seeds $ base_seed $ ops $ depth $ locs $ detector $ workers
+      $ no_chaos $ fault_rate $ shrink $ out $ stats)
+
 let () =
   let doc = "on-the-fly determinacy race detection for structured futures" in
   let info = Cmd.info "racedetect" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; synth_cmd; record_cmd; analyze_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; synth_cmd; record_cmd; analyze_cmd; chaos_cmd ]))

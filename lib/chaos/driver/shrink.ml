@@ -1,0 +1,107 @@
+module Synthetic = Sfr_workloads.Synthetic
+module Metrics = Sfr_obs.Metrics
+
+let m_shrink_steps = Metrics.counter "chaos.shrink_steps"
+
+type result = {
+  reduced : Synthetic.t;
+  steps : int;
+  initial_size : int;
+  final_size : int;
+}
+
+(* Apply [f] to the node at preorder position [n] of [tree]; [f] returns
+   the replacement list for that node ([] = delete subtree, body = hoist).
+   Positions past the edit are left untouched. *)
+let edit_at tree n f =
+  let counter = ref n in
+  let rec go ops =
+    match ops with
+    | [] -> []
+    | op :: rest ->
+        if !counter < 0 then op :: go rest
+        else if !counter = 0 then begin
+          decr counter;
+          f op @ go rest
+        end
+        else begin
+          decr counter;
+          let op' =
+            match op with
+            | Synthetic.OSpawn (tid, body) -> Synthetic.OSpawn (tid, go body)
+            | Synthetic.OCreate (tid, idx, body) ->
+                Synthetic.OCreate (tid, idx, go body)
+            | other -> other
+          in
+          op' :: go rest
+        end
+  in
+  go tree
+
+let rec nth_preorder ops n =
+  match ops with
+  | [] -> (None, n)
+  | op :: rest ->
+      if n = 0 then (Some op, -1)
+      else
+        let n = n - 1 in
+        let inner, n =
+          match op with
+          | Synthetic.OSpawn (_, b) | Synthetic.OCreate (_, _, b) ->
+              nth_preorder b n
+          | _ -> (None, n)
+        in
+        if inner <> None || n < 0 then (inner, -1) else nth_preorder rest n
+
+(* Greedy delta debugging over the operation tree: repeatedly sweep the
+   preorder positions; at each, first try deleting the whole subtree,
+   then (for spawn/create) hoisting its body into the parent frame.
+   [test] must return true iff the candidate still exhibits the failure.
+   Sweeps repeat to a fixpoint — deleting one node can make another
+   deletable (e.g. a create whose get went away). *)
+let shrink ?(max_steps = 10_000) ~test t0 =
+  let steps = ref 0 in
+  let budget_left () = !steps < max_steps in
+  let race_free = Synthetic.race_free t0 in
+  let locs = Synthetic.locs t0 in
+  let attempt cand =
+    incr steps;
+    Metrics.incr m_shrink_steps;
+    let t = Synthetic.of_tree ~race_free ~locs cand in
+    if test t then Some t else None
+  in
+  let initial_size = Synthetic.size t0 in
+  let cur = ref t0 in
+  let changed = ref true in
+  while !changed && budget_left () do
+    changed := false;
+    let pos = ref 0 in
+    while !pos < Synthetic.size !cur && budget_left () do
+      let tree = Synthetic.tree !cur in
+      match attempt (edit_at tree !pos (fun _ -> [])) with
+      | Some t ->
+          (* stay at [pos]: the next node shifted into this position *)
+          cur := t;
+          changed := true
+      | None -> (
+          let hoisted =
+            match fst (nth_preorder tree !pos) with
+            | Some (Synthetic.OSpawn (_, body) | Synthetic.OCreate (_, _, body))
+              when body <> [] ->
+                attempt (edit_at tree !pos (fun _ -> body))
+            | _ -> None
+          in
+          match hoisted with
+          | Some t ->
+              cur := t;
+              changed := true;
+              incr pos
+          | None -> incr pos)
+    done
+  done;
+  {
+    reduced = !cur;
+    steps = !steps;
+    initial_size;
+    final_size = Synthetic.size !cur;
+  }

@@ -1,0 +1,28 @@
+(** Delta-debugging shrinker for failing synthetic programs.
+
+    Given a program whose (detector × executor) run disagrees with the
+    serial oracle — or crashes — greedily minimize its operation tree
+    while the failure persists: delete subtrees, hoist spawn/create
+    bodies into the parent frame, sweep to a fixpoint. Rebuilding via
+    {!Sfr_workloads.Synthetic.of_tree} keeps every candidate runnable
+    (orphaned gets are dropped), so [test] only has to re-run it.
+
+    Determinism: with a deterministic [test] (serial execution, fixed
+    chaos seed) the sweep order is fixed, so the reduced program is a
+    pure function of the input — reproducers are stable across runs.
+    Each candidate evaluation bumps the [chaos.shrink_steps] metric. *)
+
+type result = {
+  reduced : Sfr_workloads.Synthetic.t;
+  steps : int;  (** candidate evaluations performed *)
+  initial_size : int;  (** node count before shrinking *)
+  final_size : int;  (** node count after shrinking *)
+}
+
+val shrink :
+  ?max_steps:int ->
+  test:(Sfr_workloads.Synthetic.t -> bool) ->
+  Sfr_workloads.Synthetic.t ->
+  result
+(** [shrink ~test t] minimizes [t] under [test] (true = still failing).
+    [max_steps] (default 10_000) bounds candidate evaluations. *)

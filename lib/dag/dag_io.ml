@@ -1,5 +1,19 @@
 type access = { node : Dag.node; loc : int; is_write : bool }
 
+type parse_error = { line : int; column : int; message : string }
+
+exception Parse_error of parse_error
+
+let parse_error_to_string e =
+  Printf.sprintf "line %d, column %d: %s" e.line e.column e.message
+
+let pp_parse_error fmt e = Format.pp_print_string fmt (parse_error_to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error e -> Some (Printf.sprintf "Dag_io.Parse_error(%s)" (parse_error_to_string e))
+    | _ -> None)
+
 let kind_tag = function
   | Dag.Root -> "root"
   | Dag.Spawned -> "spawned"
@@ -39,23 +53,74 @@ type raw_node = {
   rfuture : int;
   rkind : string;
   rcost : int;
+  rline : int; (* declaration line, for replay-stage diagnostics *)
   mutable rpreds : (string * int) list; (* stored order *)
 }
 
-let load ic =
-  let fail fmt = Printf.ksprintf failwith fmt in
-  let line () = try Some (input_line ic) with End_of_file -> None in
+(* Split [l] into whitespace-separated tokens, each paired with its
+   1-based start column so errors can point at the offending token. *)
+let tokenize l =
+  let toks = ref [] in
+  let n = String.length l in
+  let i = ref 0 in
+  while !i < n do
+    if l.[!i] = ' ' || l.[!i] = '\t' || l.[!i] = '\r' then incr i
+    else begin
+      let start = !i in
+      while !i < n && l.[!i] <> ' ' && l.[!i] <> '\t' && l.[!i] <> '\r' do
+        incr i
+      done;
+      toks := (String.sub l start (!i - start), start + 1) :: !toks
+    end
+  done;
+  List.rev !toks
+
+let load_exn ic =
+  let lineno = ref 0 in
+  let error ?line ?(column = 1) fmt =
+    Printf.ksprintf
+      (fun message ->
+        let line = match line with Some l -> l | None -> !lineno in
+        raise (Parse_error { line; column; message }))
+      fmt
+  in
+  let int_tok what (s, col) =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> error ~column:col "expected integer %s, got %S" what s
+  in
+  let node_id what n_nodes tok =
+    let v = int_tok what tok in
+    if v < 0 || v >= n_nodes then
+      error ~column:(snd tok) "%s %d out of range [0, %d)" what v n_nodes;
+    v
+  in
+  let line () =
+    match input_line ic with
+    | l ->
+        incr lineno;
+        Some l
+    | exception End_of_file -> None
+  in
   (match line () with
   | Some "sfdag 1" -> ()
-  | Some l -> fail "Dag_io.load: bad magic %S" l
-  | None -> fail "Dag_io.load: empty input");
+  | Some l -> error "bad magic %S (expected \"sfdag 1\")" l
+  | None -> error "empty input");
   let n_nodes, n_futures =
     match line () with
-    | Some l -> Scanf.sscanf l "counts %d %d" (fun a b -> (a, b))
-    | None -> fail "Dag_io.load: missing counts"
+    | None -> error "missing counts line"
+    | Some l -> (
+        match tokenize l with
+        | [ ("counts", _); a; b ] ->
+            let n = int_tok "node count" a and f = int_tok "future count" b in
+            if n < 0 then error ~column:(snd a) "negative node count %d" n;
+            if f < 0 then error ~column:(snd b) "negative future count %d" f;
+            (n, f)
+        | _ -> error "expected \"counts <nodes> <futures>\", got %S" l)
   in
   let raw =
-    Array.make n_nodes { rfuture = 0; rkind = "root"; rcost = 0; rpreds = [] }
+    Array.make n_nodes
+      { rfuture = 0; rkind = "root"; rcost = 0; rline = 0; rpreds = [] }
   in
   let lasts = Array.make n_futures (-1) in
   let fakes = ref [] in
@@ -64,35 +129,57 @@ let load ic =
     match line () with
     | None -> ()
     | Some l ->
-        (match String.split_on_char ' ' l with
-        | [ "node"; id; fut; kind; cost ] ->
-            raw.(int_of_string id) <-
+        (match tokenize l with
+        | [] -> () (* blank line *)
+        | [ ("node", _); id; fut; (kind, kcol); cost ] ->
+            let id = node_id "node id" n_nodes id in
+            (match kind with
+            | "root" | "spawned" | "created" | "cont" | "sync" | "get" -> ()
+            | k -> error ~column:kcol "unknown node kind %S" k);
+            raw.(id) <-
               {
-                rfuture = int_of_string fut;
+                rfuture = int_tok "future id" fut;
                 rkind = kind;
-                rcost = int_of_string cost;
+                rcost = int_tok "cost" cost;
+                rline = !lineno;
                 rpreds = [];
               }
-        | [ "pred"; v; tag; u ] ->
-            let v = int_of_string v in
-            raw.(v) <- { (raw.(v)) with rpreds = raw.(v).rpreds @ [ (tag, int_of_string u) ] }
-        | [ "future"; f; "last"; l ] -> lasts.(int_of_string f) <- int_of_string l
-        | [ "fake"; g; s ] -> fakes := (int_of_string g, int_of_string s) :: !fakes
-        | [ "access"; node; loc; rw ] ->
-            accesses :=
-              {
-                node = int_of_string node;
-                loc = int_of_string loc;
-                is_write = rw = "w";
-              }
-              :: !accesses
-        | _ -> fail "Dag_io.load: bad line %S" l);
+        | [ ("pred", _); v; (tag, tcol); u ] ->
+            let v = node_id "pred target" n_nodes v in
+            (match tag with
+            | "sp" | "cr" | "gt" -> ()
+            | t -> error ~column:tcol "unknown edge tag %S" t);
+            let u = node_id "pred source" n_nodes u in
+            raw.(v) <- { (raw.(v)) with rpreds = raw.(v).rpreds @ [ (tag, u) ] }
+        | [ ("future", _); f; ("last", _); last ] ->
+            let f = int_tok "future id" f in
+            if f < 0 || f >= n_futures then
+              error "future id %d out of range [0, %d)" f n_futures;
+            let last = int_tok "last node" last in
+            if last < -1 || last >= n_nodes then
+              error "future %d last node %d out of range" f last;
+            lasts.(f) <- last
+        | [ ("fake", _); g; s ] ->
+            let g = node_id "fake-join get node" n_nodes g in
+            let s = node_id "fake-join sync node" n_nodes s in
+            fakes := (g, s) :: !fakes
+        | [ ("access", _); node; loc; (rw, rwcol) ] ->
+            let node = node_id "access node" n_nodes node in
+            let is_write =
+              match rw with
+              | "w" -> true
+              | "r" -> false
+              | s -> error ~column:rwcol "access mode must be 'r' or 'w', got %S" s
+            in
+            accesses := { node; loc = int_tok "location" loc; is_write } :: !accesses
+        | _ -> error "bad line %S" l);
         read ()
   in
   read ();
-  (* replay *)
+  (* replay; errors past this point carry the declaring node's line *)
   let t, root = Dag.create () in
-  if n_nodes > 0 && raw.(0).rkind <> "root" then fail "Dag_io.load: node 0 not root";
+  if n_nodes > 0 && raw.(0).rkind <> "root" then
+    error ~line:raw.(0).rline "node 0 not root";
   ignore root;
   (* fake joins grouped by sync node, in recorded (reversed-prepend) order *)
   let fakes_by_sync = Hashtbl.create 16 in
@@ -102,31 +189,33 @@ let load ic =
         (g :: Option.value ~default:[] (Hashtbl.find_opt fakes_by_sync s)))
     !fakes;
   let put_done = Array.make n_futures false in
-  let emit_put f =
+  let emit_put ~at f =
     if not put_done.(f) then begin
       put_done.(f) <- true;
-      if lasts.(f) < 0 then fail "Dag_io.load: future %d gotten but has no last" f;
+      if lasts.(f) < 0 then
+        error ~line:at "future %d gotten but has no last" f;
       Dag.put t ~cur:lasts.(f)
     end
   in
   let v = ref 1 in
   while !v < n_nodes do
     let node = raw.(!v) in
+    let error fmt = error ~line:node.rline fmt in
     (match node.rkind with
     | "spawned" | "created" -> (
         (* this event created nodes !v (child) and !v+1 (continuation) *)
         let cur =
           match node.rpreds with
           | [ (_, u) ] -> u
-          | _ -> fail "Dag_io.load: child node %d must have one pred" !v
+          | _ -> error "child node %d must have one pred" !v
         in
         if node.rkind = "spawned" then begin
           let child, cont = Dag.spawn t ~cur in
-          if child <> !v || cont <> !v + 1 then fail "Dag_io.load: replay drift"
+          if child <> !v || cont <> !v + 1 then error "replay drift at spawn %d" !v
         end
         else begin
           let child, cont, _fid = Dag.create_future t ~cur in
-          if child <> !v || cont <> !v + 1 then fail "Dag_io.load: replay drift"
+          if child <> !v || cont <> !v + 1 then error "replay drift at create %d" !v
         end;
         incr v (* skip the continuation node: same event *))
     | "sync" ->
@@ -134,25 +223,27 @@ let load ic =
         let cur, spawned =
           match List.rev node.rpreds with
           | (_, cur) :: rest -> (cur, List.map snd rest)
-          | [] -> fail "Dag_io.load: sync node %d has no preds" !v
+          | [] -> error "sync node %d has no preds" !v
         in
         let created =
           List.rev (Option.value ~default:[] (Hashtbl.find_opt fakes_by_sync !v))
         in
         let s = Dag.sync t ~cur ~spawned_lasts:spawned ~created in
-        if s <> !v then fail "Dag_io.load: replay drift at sync"
+        if s <> !v then error "replay drift at sync %d" !v
     | "get" ->
         let cur, last =
           match node.rpreds with
           | [ ("gt", last); ("sp", cur) ] | [ ("sp", cur); ("gt", last) ] ->
               (cur, last)
-          | _ -> fail "Dag_io.load: get node %d has bad preds" !v
+          | _ -> error "get node %d has bad preds" !v
         in
         let f = raw.(last).rfuture in
-        emit_put f;
+        if f < 0 || f >= n_futures then
+          error "get node %d names future %d out of range" !v f;
+        emit_put ~at:node.rline f;
         let g = Dag.get t ~cur ~future:f in
-        if g <> !v then fail "Dag_io.load: replay drift at get"
-    | k -> fail "Dag_io.load: unexpected kind %s for node %d" k !v);
+        if g <> !v then error "replay drift at get %d" !v
+    | k -> error "unexpected kind %s for node %d" k !v);
     incr v
   done;
   (* costs, remaining puts *)
@@ -160,14 +251,34 @@ let load ic =
     if raw.(i).rcost > 0 then Dag.add_cost t i raw.(i).rcost
   done;
   for f = 0 to n_futures - 1 do
-    if lasts.(f) >= 0 then emit_put f
+    if lasts.(f) >= 0 then emit_put ~at:(!lineno) f
   done;
   (t, List.rev !accesses)
+
+(* The replay calls into [Dag]'s builder, whose own structural checks
+   ([Failure]/[Invalid_argument] on e.g. a pred that is not the frontier
+   of its strand) fire on inputs that parse but describe an impossible
+   dag. Fold those into [Parse_error] too so callers have one error
+   type for "this input is not a valid sfdag". *)
+let load_result ic =
+  match load_exn ic with
+  | v -> Ok v
+  | exception Parse_error e -> Error e
+  | exception Failure m ->
+      Error { line = 0; column = 0; message = "replay rejected input: " ^ m }
+  | exception Invalid_argument m ->
+      Error { line = 0; column = 0; message = "replay rejected input: " ^ m }
+
+let load ic =
+  match load_result ic with Ok v -> v | Error e -> raise (Parse_error e)
 
 let save_file path ?accesses t =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> save oc ?accesses t)
 
-let load_file path =
+let load_file_result path =
   let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> load ic)
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> load_result ic)
+
+let load_file path =
+  match load_file_result path with Ok v -> v | Error e -> raise (Parse_error e)

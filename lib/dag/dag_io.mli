@@ -11,9 +11,33 @@
 
 type access = { node : Dag.node; loc : int; is_write : bool }
 
-val save : out_channel -> ?accesses:access list -> Dag.t -> unit
-val load : in_channel -> Dag.t * access list
+type parse_error = {
+  line : int;  (** 1-based line of the offending input; 0 if unknown *)
+  column : int;  (** 1-based start column of the offending token; 0 if unknown *)
+  message : string;
+}
+(** Structured description of why an input is not a valid sfdag.
+    Covers both lexical problems (bad token, out-of-range id) and
+    replay-stage rejections (event sequence describes an impossible
+    dag); replay errors point at the line that declared the node. *)
 
+exception Parse_error of parse_error
+
+val parse_error_to_string : parse_error -> string
+val pp_parse_error : Format.formatter -> parse_error -> unit
+
+val save : out_channel -> ?accesses:access list -> Dag.t -> unit
 val save_file : string -> ?accesses:access list -> Dag.t -> unit
+
+val load_result : in_channel -> (Dag.t * access list, parse_error) result
+(** Never raises on malformed input; I/O errors ([Sys_error]) still
+    propagate. *)
+
+val load_file_result : string -> (Dag.t * access list, parse_error) result
+
+val load : in_channel -> Dag.t * access list
+(** Thin wrapper over {!load_result}.
+    @raise Parse_error on malformed input. *)
+
 val load_file : string -> Dag.t * access list
-(** @raise Failure on malformed input. *)
+(** @raise Parse_error on malformed input. *)

@@ -1,4 +1,5 @@
 module Metrics = Sfr_obs.Metrics
+module Chaos = Sfr_chaos.Chaos
 
 (* Observability: the paper's conclusion flags access-history
    synchronization as the dominant full-detection cost; these counters
@@ -82,7 +83,8 @@ let create ?(stripes = 64) ?(sync = `Mutex) policy =
         | Keep_all ->
             Lf { snapshot = Atomic.make None; grow_mu = Mutex.create () }
         | Lr_per_future _ ->
-            invalid_arg "Access_history.create: `Lockfree requires Keep_all")
+            Detect_error.unsupported ~detector:"Access_history"
+              ~feature:"`Lockfree with Lr_per_future (requires Keep_all)")
   in
   { policy; repr; max_readers = Atomic.make 0 }
 
@@ -102,6 +104,9 @@ let empty_readers = function
 let with_cell t stripes locking loc f =
   let stripe = stripes.(loc land (Array.length stripes - 1)) in
   if locking then begin
+    (* perturb-only site: widens the window between an accessor reaching
+       the history and publishing into it *)
+    Chaos.point Chaos.Lock_acquire;
     Metrics.incr m_lock_acquire;
     if not (Mutex.try_lock stripe.mu) then begin
       Metrics.incr m_lock_contended;
@@ -236,6 +241,7 @@ let lf_cell_of tbl loc =
 
 let lf_read t tbl ~loc ~accessor ~check_writer =
   let cell = lf_cell_of tbl loc in
+  Chaos.point Chaos.Lock_acquire;
   (* publish the reader first, then validate against the current writer:
      a concurrent writer either drains this reader or was installed
      before our validation read (see the .mli completeness note) *)
@@ -260,6 +266,7 @@ let lf_read t tbl ~loc ~accessor ~check_writer =
 
 let lf_write _t tbl ~loc ~accessor ~check =
   let cell = lf_cell_of tbl loc in
+  Chaos.point Chaos.Lock_acquire;
   (match Atomic.exchange cell.lf_writer (Some accessor) with
   | Some w -> check ~prev:w ~prev_is_writer:true
   | None -> ());

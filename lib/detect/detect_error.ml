@@ -1,0 +1,24 @@
+type t =
+  | Foreign_state of { detector : string; context : string }
+  | Unsupported of { detector : string; feature : string }
+
+exception Error of t
+
+let to_string = function
+  | Foreign_state { detector; context } ->
+      Printf.sprintf "%s: foreign state in %s" detector context
+  | Unsupported { detector; feature } ->
+      Printf.sprintf "%s: unsupported feature %s" detector feature
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Printf.sprintf "Detect_error.Error(%s)" (to_string e))
+    | _ -> None)
+
+let foreign_state ~detector ~context =
+  raise (Error (Foreign_state { detector; context }))
+
+let unsupported ~detector ~feature =
+  raise (Error (Unsupported { detector; feature }))

@@ -1,0 +1,29 @@
+(** Typed errors for detector misuse.
+
+    Detectors are [Events.callbacks] clients whose per-strand state is an
+    extensible [Events.state]. Mixing states from two different detectors
+    (e.g. feeding an [Sf_order] state into [F_order]'s callbacks) is a
+    programming error in the harness, not a property of the analyzed
+    program. Historically these surfaced as bare [Invalid_argument]
+    strings; the chaos layer needs to distinguish "the system under test
+    misbehaved" from "the harness wired detectors wrongly", so they are
+    now a typed exception carrying structured context. *)
+
+type t =
+  | Foreign_state of { detector : string; context : string }
+      (** [detector] received an [Events.state] it did not create.
+          [context] names the callback or query that unwrapped it. *)
+  | Unsupported of { detector : string; feature : string }
+      (** [detector] was asked for a capability it does not provide
+          (e.g. a parallel run of a serial-only detector). *)
+
+exception Error of t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val foreign_state : detector:string -> context:string -> 'a
+(** [foreign_state ~detector ~context] raises [Error (Foreign_state _)]. *)
+
+val unsupported : detector:string -> feature:string -> 'a
+(** [unsupported ~detector ~feature] raises [Error (Unsupported _)]. *)

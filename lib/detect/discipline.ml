@@ -14,7 +14,9 @@ type strand = {
 
 type Events.state += Dc of strand
 
-let as_dc = function Dc s -> s | _ -> invalid_arg "Discipline: foreign state"
+let as_dc = function
+  | Dc s -> s
+  | _ -> Detect_error.foreign_state ~detector:"Discipline" ~context:"state unwrap"
 
 type t = {
   callbacks : Events.callbacks;

@@ -19,7 +19,9 @@ type strand = {
 
 type Events.state += Fo of strand
 
-let as_fo = function Fo s -> s | _ -> invalid_arg "F_order: foreign state"
+let as_fo = function
+  | Fo s -> s
+  | _ -> Detect_error.foreign_state ~detector:"F_order" ~context:"state unwrap"
 
 let make ?(history = `Mutex) () =
   let spo, root_pos = Sp_order.create () in

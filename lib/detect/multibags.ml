@@ -18,7 +18,9 @@ type strand = {
 
 type Events.state += Mb of strand
 
-let as_mb = function Mb s -> s | _ -> invalid_arg "Multibags: foreign state"
+let as_mb = function
+  | Mb s -> s
+  | _ -> Detect_error.foreign_state ~detector:"Multibags" ~context:"state unwrap"
 
 let make () =
   let bags, root_frame = Sp_bags.create () in

@@ -21,7 +21,9 @@ type strand = {
 
 type Events.state += Sf of strand
 
-let as_sf = function Sf s -> s | _ -> invalid_arg "Sf_order: foreign state"
+let as_sf = function
+  | Sf s -> s
+  | _ -> Detect_error.foreign_state ~detector:"Sf_order" ~context:"state unwrap"
 
 let make_with_precedes ?(readers = `All) ?(sets = `Bitmap) ?(history = `Mutex) () =
   let spo, root_pos = Sp_order.create () in

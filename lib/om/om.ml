@@ -49,6 +49,7 @@ type t = {
 (* Observability: relabel storms are the OM cost the paper's analysis
    amortizes away; the counters let the ablations see them. *)
 module Metrics = Sfr_obs.Metrics
+module Chaos = Sfr_chaos.Chaos
 
 let m_relabels = Metrics.counter "om.relabels"
 let m_splits = Metrics.counter "om.splits"
@@ -81,7 +82,13 @@ let create () =
 
 (* -- seqlock helpers -------------------------------------------------- *)
 
-let begin_relabel t = Atomic.incr t.version
+(* Chaos delays inside the odd-version window (perturb-only site: the
+   mutation lock is held here) stretch exactly the interval concurrent
+   [compare_items] seqlock readers must detect and retry through. *)
+let begin_relabel t =
+  Atomic.incr t.version;
+  Chaos.point Chaos.Relabel
+
 let end_relabel t = Atomic.incr t.version
 
 (* -- group-level relabeling ------------------------------------------ *)

@@ -2,6 +2,7 @@ type task = unit -> unit
 
 module Metrics = Sfr_obs.Metrics
 module Trace_event = Sfr_obs.Trace_event
+module Chaos = Sfr_chaos.Chaos
 
 let m_spawns = Metrics.counter "runtime.spawns"
 let m_creates = Metrics.counter "runtime.creates"
@@ -104,8 +105,16 @@ type sched = {
   deques : Deque.t array;
   live : int Atomic.t; (* pushed-but-unfinished task closures *)
   quiescent : bool Atomic.t;
-  failure : exn option Atomic.t;
+  failure : (exn * Printexc.raw_backtrace) option Atomic.t;
+      (* first failure wins; its backtrace is preserved to the join *)
 }
+
+(* Record the first exception (with its backtrace) and let every worker
+   observe it: the failure flag doubles as the stop signal, so a raising
+   task fails the whole run instead of wedging it. *)
+let record_failure sched e =
+  let bt = Printexc.get_raw_backtrace () in
+  ignore (Atomic.compare_and_set sched.failure None (Some (e, bt)))
 
 let push_task sched t =
   let w = Domain.DLS.get worker_key in
@@ -159,6 +168,7 @@ let rec exec_frame sched (body : frame -> unit) =
           | Program.Spawn f ->
               Some
                 (fun (k : (b, _) Effect.Deep.continuation) ->
+                  Chaos.point Chaos.Spawn;
                   Metrics.incr m_spawns;
                   let child_state, cont_state = sched.cb.Events.on_spawn (get_cur ()) in
                   Mutex.lock frame.fmu;
@@ -177,6 +187,7 @@ let rec exec_frame sched (body : frame -> unit) =
           | Program.Create f ->
               Some
                 (fun (k : (b, _) Effect.Deep.continuation) ->
+                  Chaos.point Chaos.Create;
                   Metrics.incr m_creates;
                   Trace_event.instant ~cat:"runtime" "create";
                   let h = Program.Handle.make () in
@@ -199,6 +210,7 @@ let rec exec_frame sched (body : frame -> unit) =
           | Program.Sync ->
               Some
                 (fun (k : (b, _) Effect.Deep.continuation) ->
+                  Chaos.point Chaos.Sync;
                   let pre_state = get_cur () in
                   Mutex.lock frame.fmu;
                   if frame.outstanding = 0 then begin
@@ -218,6 +230,7 @@ let rec exec_frame sched (body : frame -> unit) =
           | Program.Get h ->
               Some
                 (fun (k : (b, _) Effect.Deep.continuation) ->
+                  Chaos.point Chaos.Get;
                   Metrics.incr m_gets;
                   Trace_event.instant ~cat:"runtime" "get";
                   Program.Handle.claim_touch h;
@@ -250,22 +263,28 @@ let rec exec_frame sched (body : frame -> unit) =
     }
 
 let find_task sched me =
-  match Deque.pop_bottom sched.deques.(me) with
-  | Some t -> Some t
-  | None ->
-      let n = Array.length sched.deques in
-      let rec try_steal i =
-        if i >= n then None
-        else
-          let victim = (me + 1 + i) mod n in
-          match Deque.steal_top sched.deques.(victim) with
-          | Some t ->
-              Metrics.incr m_steals;
-              Trace_event.instant ~cat:"runtime" "steal";
-              Some t
-          | None -> try_steal (i + 1)
-      in
-      try_steal 0
+  let steal () =
+    let n = Array.length sched.deques in
+    let rec try_steal i =
+      if i >= n then None
+      else
+        let victim = (me + 1 + i) mod n in
+        match Deque.steal_top sched.deques.(victim) with
+        | Some t ->
+            Metrics.incr m_steals;
+            Trace_event.instant ~cat:"runtime" "steal";
+            Chaos.point Chaos.Steal;
+            Some t
+        | None -> try_steal (i + 1)
+    in
+    try_steal 0
+  in
+  let own () = Deque.pop_bottom sched.deques.(me) in
+  (* chaos can invert the pop-before-steal preference, forcing help-first
+     schedules (remote continuations) that rarely arise naturally *)
+  if Chaos.force_steal () then
+    match steal () with Some t -> Some t | None -> own ()
+  else match own () with Some t -> Some t | None -> steal ()
 
 let worker_loop sched me =
   Domain.DLS.set worker_key me;
@@ -275,14 +294,21 @@ let worker_loop sched me =
     if Atomic.get sched.quiescent || Atomic.get sched.failure <> None then
       continue_ := false
     else begin
-      match find_task sched me with
+      match
+        (* a raise from the scheduler itself (e.g. an injected steal
+           fault) must fail the run, not kill the domain *)
+        try find_task sched me
+        with e ->
+          record_failure sched e;
+          None
+      with
       | Some t ->
           idle_spins := 0;
           Metrics.incr m_tasks;
-          (try Trace_event.with_span ~cat:"runtime" "task" t
-           with e ->
-             ignore
-               (Atomic.compare_and_set sched.failure None (Some e)));
+          (try
+             Chaos.point Chaos.Task;
+             Trace_event.with_span ~cat:"runtime" "task" t
+           with e -> record_failure sched e);
           if Atomic.fetch_and_add sched.live (-1) = 1 then
             Atomic.set sched.quiescent true
       | None ->
@@ -327,7 +353,21 @@ let run ?workers cb ~root main =
   let others = List.init (nw - 1) (fun i -> Domain.spawn (fun () -> worker_loop sched (i + 1))) in
   worker_loop sched 0;
   List.iter Domain.join others;
-  (match Atomic.get sched.failure with Some e -> raise e | None -> ());
+  (match Atomic.get sched.failure with
+  | Some (e, bt) ->
+      (* cancel cleanly: every worker has stopped on the failure flag;
+         drain the queued-but-unstarted tasks (and any continuations they
+         capture) so nothing lingers, then surface the first exception at
+         the join with its original backtrace *)
+      Array.iter
+        (fun d ->
+          let rec drain () =
+            match Deque.steal_top d with Some _ -> drain () | None -> ()
+          in
+          drain ())
+        sched.deques;
+      Printexc.raise_with_backtrace e bt
+  | None -> ());
   match !result with
   | Some r -> (r, !final)
   | None ->

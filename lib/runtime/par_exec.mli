@@ -15,7 +15,28 @@
     lives in domain-local storage).
 
     On a deadlocked program (possible only with unstructured future use)
-    [run] raises {!Program.Unstructured_use} instead of hanging. *)
+    [run] raises {!Program.Unstructured_use} instead of hanging.
+
+    {b Failure semantics.} If any task — however deeply nested — raises,
+    the first exception (with its backtrace) is captured, every worker
+    stops at its next scheduling decision, the remaining queued tasks are
+    drained and dropped, and the exception is re-raised at the join. A
+    raising task can therefore never wedge the run or kill a lone domain.
+    This includes synthetic {!Sfr_chaos.Chaos.Injected} faults: the
+    executor's spawn/create/get/sync/steal/task boundaries are
+    {!Sfr_chaos.Chaos.point} injection sites (free unless armed). *)
+
+module Deque : sig
+  type t
+
+  val create : unit -> t
+  val push_bottom : t -> (unit -> unit) -> unit
+  val pop_bottom : t -> (unit -> unit) option
+  val steal_top : t -> (unit -> unit) option
+end
+(** The per-worker deque (owner LIFO bottom, thief FIFO top). Exposed so
+    the randomized model test can audit the ring-buffer grow/wraparound
+    indexing; not part of the stable API. *)
 
 val run :
   ?workers:int ->

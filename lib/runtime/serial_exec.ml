@@ -1,5 +1,6 @@
 module Metrics = Sfr_obs.Metrics
 module Trace_event = Sfr_obs.Trace_event
+module Chaos = Sfr_chaos.Chaos
 
 let m_spawns = Metrics.counter "runtime.spawns"
 let m_creates = Metrics.counter "runtime.creates"
@@ -35,6 +36,7 @@ let run (cb : Events.callbacks) ~root main =
               | Program.Spawn f ->
                   Some
                     (fun (k : (b, _) Effect.Deep.continuation) ->
+                      Chaos.point Chaos.Spawn;
                       Metrics.incr m_spawns;
                       let child_state, cont_state = cb.on_spawn !cur in
                       cur := child_state;
@@ -48,11 +50,13 @@ let run (cb : Events.callbacks) ~root main =
               | Program.Sync ->
                   Some
                     (fun (k : (b, _) Effect.Deep.continuation) ->
+                      Chaos.point Chaos.Sync;
                       do_sync fr;
                       Effect.Deep.continue k ())
               | Program.Create f ->
                   Some
                     (fun (k : (b, _) Effect.Deep.continuation) ->
+                      Chaos.point Chaos.Create;
                       Metrics.incr m_creates;
                       let h = Program.Handle.make () in
                       let child_state, cont_state = cb.on_create !cur in
@@ -72,6 +76,7 @@ let run (cb : Events.callbacks) ~root main =
               | Program.Get h ->
                   Some
                     (fun (k : (b, _) Effect.Deep.continuation) ->
+                      Chaos.point Chaos.Get;
                       Metrics.incr m_gets;
                       Trace_event.instant ~cat:"runtime" "get";
                       (match Program.Handle.status h with

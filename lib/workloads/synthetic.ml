@@ -167,3 +167,69 @@ let instantiate t =
   }
 
 let stats t = (t.ops, t.nfutures, t.gets)
+
+(* -- tree surgery (chaos shrinking) -------------------------------------- *)
+
+let tree t = t.tree
+let locs t = t.locs
+let race_free t = t.race_free
+
+let rec node_count ops =
+  List.fold_left
+    (fun acc op ->
+      acc + 1
+      + (match op with OSpawn (_, b) | OCreate (_, _, b) -> node_count b | _ -> 0))
+    0 ops
+
+let size t = node_count t.tree
+
+let of_tree ?(race_free = false) ~locs tree =
+  (* Rebuild the derived fields from an edited tree. A shrinker may have
+     removed the OCreate a surviving OGet referred to; such orphan gets
+     would trip the interpreter's handle table, so drop any OGet whose
+     create does not precede it in preorder (= serial execution order,
+     under which the handle is published before the get runs). *)
+  let created = Hashtbl.create 16 in
+  let nfutures = ref 0 in
+  let ntasks = ref 1 in
+  let ops = ref 0 in
+  let gets = ref 0 in
+  let rec walk l =
+    List.filter_map
+      (fun op ->
+        match op with
+        | OSpawn (tid, body) ->
+            incr ops;
+            ntasks := max !ntasks (tid + 1);
+            Some (OSpawn (tid, walk body))
+        | OCreate (tid, idx, body) ->
+            incr ops;
+            ntasks := max !ntasks (tid + 1);
+            nfutures := max !nfutures (idx + 1);
+            let body = walk body in
+            (* the handle is published only after the create returns, so
+               mark it created after walking the body *)
+            Hashtbl.replace created idx ();
+            Some (OCreate (tid, idx, body))
+        | OGet idx ->
+            if Hashtbl.mem created idx then begin
+              incr ops;
+              incr gets;
+              Some op
+            end
+            else None
+        | OSync | ORead _ | OWrite _ | OWork _ ->
+            incr ops;
+            Some op)
+      l
+  in
+  let tree = walk tree in
+  {
+    tree;
+    nfutures = !nfutures;
+    ntasks = !ntasks;
+    locs;
+    race_free;
+    ops = !ops;
+    gets = !gets;
+  }

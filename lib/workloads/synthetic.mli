@@ -17,6 +17,18 @@
 
 type t
 
+type op =
+  | OSpawn of int * op list  (** task id, body *)
+  | OCreate of int * int * op list  (** task id, future index, body *)
+  | OSync
+  | OGet of int
+  | ORead of int
+  | OWrite of int  (** in race-free mode: index into the task's private row *)
+  | OWork of int
+      (** The pure operation tree. Public so the chaos shrinker can
+          delta-debug a failing program: edit the tree, then rebuild a
+          runnable [t] with {!of_tree}. *)
+
 val generate : ?race_free:bool -> seed:int -> ops:int -> depth:int -> locs:int -> unit -> t
 (** Deterministic in all arguments. [ops] bounds the total operation
     count, [depth] the task-nesting depth, [locs] the shared-location
@@ -43,3 +55,16 @@ val instantiate : t -> instance
 
 val stats : t -> int * int * int
 (** [(ops, futures, gets)] of the generated tree. *)
+
+val tree : t -> op list
+val locs : t -> int
+val race_free : t -> bool
+
+val size : t -> int
+(** Total node count of the operation tree. *)
+
+val of_tree : ?race_free:bool -> locs:int -> op list -> t
+(** Rebuild a runnable program from an edited tree, recomputing the
+    future/task tables. OGets whose creating OCreate no longer precedes
+    them in preorder are dropped (an edit may have removed the create),
+    so any tree edit yields a program that is safe to instantiate. *)

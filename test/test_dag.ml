@@ -356,7 +356,58 @@ let qtests =
       prop_io_reachability_preserved;
     ]
 
+(* Feed [content] to the loader and return its parse error. *)
+let parse_error_of content =
+  let tmp = Filename.temp_file "sfdag" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      let oc = open_out tmp in
+      output_string oc content;
+      close_out oc;
+      match Dag_io.load_file_result tmp with
+      | Error e -> e
+      | Ok _ -> Alcotest.fail "expected a parse error")
+
 let test_io_rejects_garbage () =
+  let e = parse_error_of "not a dag\n" in
+  Alcotest.(check int) "error on line 1" 1 e.Dag_io.line
+
+let test_io_empty_file () =
+  let e = parse_error_of "" in
+  Alcotest.(check bool) "mentions empty" true
+    (String.length e.Dag_io.message > 0)
+
+let test_io_bad_int_token () =
+  let e = parse_error_of "sfdag 1\ncounts 3 zero\n" in
+  Alcotest.(check int) "line 2" 2 e.Dag_io.line;
+  Alcotest.(check int) "column of bad token" 10 e.Dag_io.column
+
+let test_io_node_out_of_range () =
+  let e = parse_error_of "sfdag 1\ncounts 1 0\nnode 7 0 root 0\n" in
+  Alcotest.(check int) "line 3" 3 e.Dag_io.line;
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "mentions range" true
+    (contains e.Dag_io.message "out of range")
+
+let test_io_bad_access_mode () =
+  let e = parse_error_of "sfdag 1\ncounts 1 0\nnode 0 0 root 0\naccess 0 5 x\n" in
+  Alcotest.(check int) "line 4" 4 e.Dag_io.line
+
+let test_io_negative_counts () =
+  let e = parse_error_of "sfdag 1\ncounts -2 0\n" in
+  Alcotest.(check int) "line 2" 2 e.Dag_io.line
+
+let test_io_bad_kind () =
+  let e = parse_error_of "sfdag 1\ncounts 2 0\nnode 1 0 wobble 0\n" in
+  Alcotest.(check int) "line 3" 3 e.Dag_io.line;
+  Alcotest.(check int) "column of kind token" 10 e.Dag_io.column
+
+let test_io_raising_wrapper () =
   let tmp = Filename.temp_file "sfdag" ".txt" in
   Fun.protect
     ~finally:(fun () -> Sys.remove tmp)
@@ -365,17 +416,8 @@ let test_io_rejects_garbage () =
       output_string oc "not a dag\n";
       close_out oc;
       match Dag_io.load_file tmp with
-      | exception Failure _ -> ()
-      | _ -> Alcotest.fail "expected Failure on bad magic")
-
-let test_io_empty_file () =
-  let tmp = Filename.temp_file "sfdag" ".txt" in
-  Fun.protect
-    ~finally:(fun () -> Sys.remove tmp)
-    (fun () ->
-      match Dag_io.load_file tmp with
-      | exception Failure _ -> ()
-      | _ -> Alcotest.fail "expected Failure on empty input")
+      | exception Dag_io.Parse_error _ -> ()
+      | _ -> Alcotest.fail "expected Parse_error on bad magic")
 
 let () =
   Alcotest.run "dag"
@@ -393,6 +435,12 @@ let () =
           Alcotest.test_case "dot output" `Quick test_dot_output;
           Alcotest.test_case "io rejects garbage" `Quick test_io_rejects_garbage;
           Alcotest.test_case "io empty file" `Quick test_io_empty_file;
+          Alcotest.test_case "io bad int token" `Quick test_io_bad_int_token;
+          Alcotest.test_case "io node out of range" `Quick test_io_node_out_of_range;
+          Alcotest.test_case "io bad access mode" `Quick test_io_bad_access_mode;
+          Alcotest.test_case "io negative counts" `Quick test_io_negative_counts;
+          Alcotest.test_case "io bad kind" `Quick test_io_bad_kind;
+          Alcotest.test_case "io raising wrapper" `Quick test_io_raising_wrapper;
         ] );
       ("properties", qtests);
     ]

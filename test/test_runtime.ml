@@ -202,6 +202,92 @@ let test_par_exception () =
              Program.spawn (fun () -> failwith "par-boom");
              Program.sync ())))
 
+(* An exception thrown deep inside nested spawns must reach the caller
+   rather than deadlock the join: workers parked on the failure must be
+   released and the pending continuations discarded. Every worker count
+   exercises a different parking pattern. *)
+let test_par_nested_exception_no_deadlock () =
+  List.iter
+    (fun workers ->
+      Alcotest.check_raises
+        (Printf.sprintf "deep exception with %d workers" workers)
+        (Failure "deep-boom")
+        (fun () ->
+          ignore
+            (run_par_traced ~workers (fun () ->
+                 Program.spawn (fun () ->
+                     Program.spawn (fun () ->
+                         Program.spawn (fun () ->
+                             Program.work 2;
+                             failwith "deep-boom");
+                         Program.sync ());
+                     Program.sync ());
+                 (* sibling work keeps other workers busy at failure time *)
+                 Program.spawn (fun () -> Program.work 50);
+                 Program.sync ()))))
+    [ 1; 2; 4 ]
+
+(* exception raised inside a future body, with the get still pending *)
+let test_par_future_exception_no_deadlock () =
+  Alcotest.check_raises "future body exception" (Failure "future-boom")
+    (fun () ->
+      ignore
+        (run_par_traced ~workers:4 (fun () ->
+             let h = Program.create (fun () -> failwith "future-boom") in
+             Program.work 10;
+             ignore (Program.get h))))
+
+(* ------------------------------------------------------------------ *)
+(* Deque model check                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Randomized differential test of the worker deque against a list
+   model: push_bottom/pop_bottom at one end, steal_top at the other.
+   Tasks are identified by a mutable cell each sets; thousands of ops
+   cross the ring buffer's grow and wraparound paths. *)
+let test_deque_vs_model () =
+  let module Deque = Par_exec.Deque in
+  let rng = Sfr_support.Prng.create 0xDEC0DE in
+  let d = Deque.create () in
+  let model = ref [] in (* bottom of deque = head of list *)
+  let last = ref (-1) in
+  let mk i = (i, fun () -> last := i) in
+  let run_thunk t = t (); !last in
+  let next = ref 0 in
+  for _ = 1 to 5_000 do
+    match Sfr_support.Prng.int rng 5 with
+    | 0 | 1 | 2 ->
+        let i, t = mk !next in
+        incr next;
+        Deque.push_bottom d t;
+        model := (i, t) :: !model
+    | 3 -> (
+        match (Deque.pop_bottom d, !model) with
+        | None, [] -> ()
+        | Some t, (i, _) :: rest ->
+            model := rest;
+            Alcotest.(check int) "pop_bottom matches model" i (run_thunk t)
+        | Some _, [] -> Alcotest.fail "deque has task, model empty"
+        | None, _ :: _ -> Alcotest.fail "deque empty, model has task")
+    | _ -> (
+        match (Deque.steal_top d, List.rev !model) with
+        | None, [] -> ()
+        | Some t, (i, _) :: rest ->
+            model := List.rev rest;
+            Alcotest.(check int) "steal_top matches model" i (run_thunk t)
+        | Some _, [] -> Alcotest.fail "deque has task, model empty"
+        | None, _ :: _ -> Alcotest.fail "deque empty, model has task")
+  done;
+  (* drain and compare the final contents *)
+  let rec drain acc =
+    match Deque.pop_bottom d with
+    | Some t -> drain (run_thunk t :: acc)
+    | None -> List.rev acc
+  in
+  let deque_rest = drain [] in
+  let model_rest = List.map fst !model in
+  Alcotest.(check (list int)) "residual contents match" model_rest deque_rest
+
 (* ------------------------------------------------------------------ *)
 (* Synthetic cross-executor properties                                  *)
 (* ------------------------------------------------------------------ *)
@@ -268,6 +354,11 @@ let () =
           Alcotest.test_case "escaping future" `Quick test_par_escaping_future;
           Alcotest.test_case "single touch" `Quick test_par_single_touch;
           Alcotest.test_case "exception" `Quick test_par_exception;
+          Alcotest.test_case "nested exception no deadlock" `Quick
+            test_par_nested_exception_no_deadlock;
+          Alcotest.test_case "future exception no deadlock" `Quick
+            test_par_future_exception_no_deadlock;
         ] );
+      ("deque", [ Alcotest.test_case "vs list model" `Quick test_deque_vs_model ]);
       ("properties", qtests);
     ]

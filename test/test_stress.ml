@@ -14,6 +14,7 @@ module Synthetic = Sfr_workloads.Synthetic
 module Detector = Sfr_detect.Detector
 module Sf_order = Sfr_detect.Sf_order
 module Access_history = Sfr_detect.Access_history
+module Detect_error = Sfr_detect.Detect_error
 
 let check = Alcotest.check
 let bool = Alcotest.bool
@@ -176,7 +177,12 @@ let test_lockfree_sparse_locations () =
 
 let test_lockfree_rejects_lr () =
   Alcotest.check_raises "lockfree requires keep-all"
-    (Invalid_argument "Access_history.create: `Lockfree requires Keep_all")
+    (Detect_error.Error
+       (Detect_error.Unsupported
+          {
+            detector = "Access_history";
+            feature = "`Lockfree with Lr_per_future (requires Keep_all)";
+          }))
     (fun () ->
       ignore
         (Access_history.create ~sync:`Lockfree
