@@ -1,4 +1,4 @@
-.PHONY: all build test bench profile examples clean
+.PHONY: all build test bench profile examples replay-smoke clean
 
 all: build
 
@@ -20,6 +20,18 @@ examples:
 	dune exec examples/pipeline_search.exe
 	dune exec examples/race_debugging.exe
 	dune exec examples/video_pipeline.exe
+
+# Record mm and sw, replay each with 1 and 4 shards, and require the
+# reports to be byte-identical (stdout is shard-count-invariant).
+replay-smoke:
+	dune build bin/racedetect.exe
+	@set -e; for w in mm sw; do \
+	  dune exec bin/racedetect.exe -- record -w $$w -s small -o /tmp/$$w.sflog; \
+	  dune exec bin/racedetect.exe -- replay /tmp/$$w.sflog --shards 1 > /tmp/$$w.s1.out; \
+	  dune exec bin/racedetect.exe -- replay /tmp/$$w.sflog --shards 4 > /tmp/$$w.s4.out; \
+	  diff /tmp/$$w.s1.out /tmp/$$w.s4.out && echo "$$w: 1-shard and 4-shard reports identical"; \
+	  rm -f /tmp/$$w.sflog /tmp/$$w.s1.out /tmp/$$w.s4.out; \
+	done
 
 clean:
 	dune clean

@@ -11,6 +11,7 @@
      ablation-sets     bitmap vs hash-table gp/cp backends
      ablation-readers  keep-all vs 2-per-future reader policies
      ablation-history  mutex vs lock-free vs unsynchronized access history
+     eventlog          record-only overhead vs live detection; shard scaling
      profile           dump per-configuration metric snapshots as JSON
      micro             Bechamel micro-benchmarks of the substrate
      all               everything above except profile (default)
@@ -93,6 +94,96 @@ let micro () =
     tests
 
 (* ---------------------------------------------------------------- *)
+(* event-log record / replay                                          *)
+(* ---------------------------------------------------------------- *)
+
+(* Record overhead vs live detection, and offline shard scaling. The
+   point of recording is that it is cheaper than detecting: the recorder
+   does one buffer append per event, while a live detector maintains
+   order structures and an access history. The deferred work is then
+   embarrassingly parallel offline. *)
+let eventlog ~scale ~repeats =
+  let module Serial_exec = Sfr_runtime.Serial_exec in
+  let module Events = Sfr_runtime.Events in
+  let best f =
+    let ts =
+      List.init (max 1 repeats) (fun _ ->
+          let _, dt = Sfr_support.Stats.time f in
+          dt)
+    in
+    List.fold_left Float.min Float.infinity ts
+  in
+  Printf.printf
+    "Event-log record/replay (scale %s, best of %d, %d core(s) available):\n"
+    (Format.asprintf "%a" Workload.pp_scale scale)
+    (max 1 repeats)
+    (Domain.recommended_domain_count ());
+  (* shard checking is compute-bound: more shards than cores cannot speed
+     up wall-clock, it only measures the coordination overhead *)
+  Printf.printf "  %-6s %12s %12s %12s %10s %10s\n" "bench" "null (s)"
+    "record (s)" "live (s)" "rec ovh" "live ovh";
+  let logs =
+    List.filter_map
+      (fun name ->
+        match Sfr_workloads.Registry.find name with
+        | None -> None
+        | Some w ->
+            let inst () = w.Workload.instantiate ~inject_race:false scale in
+            let t_null =
+              best (fun () ->
+                  let i = inst () in
+                  Serial_exec.run Events.null ~root:Events.Unit_state
+                    i.Workload.program
+                  |> fst)
+            in
+            let path = Filename.temp_file ("sfr_" ^ name) ".sflog" in
+            let t_rec =
+              best (fun () ->
+                  let i = inst () in
+                  let rec_, cb, root = Sfr_eventlog.Recorder.create ~path () in
+                  let () = Serial_exec.run cb ~root i.Workload.program |> fst in
+                  ignore (Sfr_eventlog.Recorder.close rec_))
+            in
+            let t_live =
+              best (fun () ->
+                  let i = inst () in
+                  let det = Sfr_detect.Sf_order.make () in
+                  Serial_exec.run det.Sfr_detect.Detector.callbacks
+                    ~root:det.Sfr_detect.Detector.root i.Workload.program
+                  |> fst)
+            in
+            Printf.printf "  %-6s %12.4f %12.4f %12.4f %9.2fx %9.2fx%s\n%!"
+              name t_null t_rec t_live (t_rec /. t_null) (t_live /. t_null)
+              (if t_rec < t_live then "" else "  (record NOT cheaper!)");
+            Some (name, path))
+      [ "mm"; "sw" ]
+  in
+  print_endline "  offline shard scaling (structural pass + sharded checks):";
+  List.iter
+    (fun (name, path) ->
+      match Sfr_eventlog.Reader.load_file path with
+      | Error e ->
+          Printf.printf "  %-6s unreadable log: %s\n" name
+            (Sfr_eventlog.Log_format.error_to_string e)
+      | Ok log ->
+          let t1 = ref Float.infinity in
+          List.iter
+            (fun shards ->
+              let dt =
+                best (fun () ->
+                    match Sfr_eventlog.Shard_replay.run log ~shards with
+                    | Ok _ -> ()
+                    | Error e ->
+                        failwith (Sfr_eventlog.Replay.error_to_string e))
+              in
+              if shards = 1 then t1 := dt;
+              Printf.printf "  %-6s %2d shard(s): %8.4f s  (%.2fx vs 1)\n%!"
+                name shards dt (!t1 /. dt))
+            [ 1; 2; 4; 8 ];
+          Sys.remove path)
+    logs
+
+(* ---------------------------------------------------------------- *)
 (* chaos soak                                                         *)
 (* ---------------------------------------------------------------- *)
 
@@ -153,7 +244,8 @@ let soak ~seeds ~workers =
 let usage () =
   prerr_endline
     "usage: main.exe [fig3|fig4|fig5|sweep|ablation-locks|ablation-sets|\n\
-    \                 ablation-readers|ablation-history|profile|micro|soak|all]\n\
+    \                 ablation-readers|ablation-history|profile|micro|eventlog|\n\
+    \                 soak|all]\n\
     \                [--scale tiny|small|default|large|paper] [--repeats N]\n\
     \                [--workers P] [--seeds N] [--trace-out FILE]\n\
     \                [--profile-out FILE] [--no-metrics]";
@@ -223,6 +315,7 @@ let () =
           Printf.eprintf "cannot write profile: %s\n" msg;
           exit 2)
     | "micro" -> micro ()
+    | "eventlog" -> eventlog ~scale ~repeats
     | "soak" -> soak ~seeds ~workers:(min workers 8)
     | "all" ->
         List.iter
@@ -231,7 +324,7 @@ let () =
             print_newline ())
           [ "fig3"; "fig4"; "fig5"; "motivation"; "complexity"; "sweep";
             "ablation-locks"; "ablation-sets"; "ablation-readers";
-            "ablation-history"; "micro" ]
+            "ablation-history"; "eventlog"; "micro" ]
     | _ -> usage ()
   in
   (match !trace_out with Some _ -> Sfr_obs.Trace_event.start () | None -> ());

@@ -8,11 +8,15 @@
                     [--stats] [--trace-out FILE]
      racedetect synth --seed 42 [--ops 200] [--depth 5] [--locs 16]
                       [--detector sf-order] [--oracle] [--no-verify] [--stats]
-     racedetect record --workload sort -o sort.trace
-     racedetect analyze sort.trace
+     racedetect record --workload mm -o mm.sflog          (binary event log)
+     racedetect record --workload mm --format sfdag -o mm.trace
+     racedetect replay mm.sflog [--detector sf-order] [--shards N]
+     racedetect analyze mm.trace
 
-   run and synth exit 1 when races are detected (suppress with
-   --no-verify; --inject-race instead *requires* the race to be found). *)
+   Exit codes are uniform across subcommands (see README "Exit codes"):
+   0 = clean, 1 = races detected / verification or expectation failed
+   (suppress with --no-verify where it applies), 2 = usage, I/O or
+   malformed-input errors. *)
 
 module Workload = Sfr_workloads.Workload
 module Registry = Sfr_workloads.Registry
@@ -53,17 +57,9 @@ let scale_conv =
         | None -> Error (`Msg (Printf.sprintf "unknown scale %S" s))),
       fun ppf s -> Workload.pp_scale ppf s )
 
-(* Prints the run summary and returns the number of racy locations, so
-   callers can turn "races found" into the exit status. *)
-let print_detector_report ?(stats = false) det dt =
-  Printf.printf "executed in %.3f s\n" dt;
-  Printf.printf "reachability queries: %d\n" (det.Detector.queries ());
-  Printf.printf "reachability memory (live): %s\n"
-    (Format.asprintf "%a" Mem_meter.pp_bytes (det.Detector.reach_words ()));
-  Printf.printf "access-history memory:      %s\n"
-    (Format.asprintf "%a" Mem_meter.pp_bytes (det.Detector.history_words ()));
-  Printf.printf "max readers per location:   %d\n" (det.Detector.max_readers ());
-  let reports = Race.reports det.Detector.races in
+(* Race-report rendering shared by live detection and offline replay, so
+   their outputs diff cleanly; returns the racy-location count. *)
+let print_races reports =
   if reports = [] then print_endline "no determinacy races detected."
   else begin
     Printf.printf "RACES DETECTED at %d location(s):\n" (List.length reports);
@@ -75,6 +71,19 @@ let print_detector_report ?(stats = false) det dt =
           r.Race.prev_future r.Race.cur_future r.Race.count)
       reports
   end;
+  List.length reports
+
+(* Prints the run summary and returns the number of racy locations, so
+   callers can turn "races found" into the exit status. *)
+let print_detector_report ?(stats = false) det dt =
+  Printf.printf "executed in %.3f s\n" dt;
+  Printf.printf "reachability queries: %d\n" (det.Detector.queries ());
+  Printf.printf "reachability memory (live): %s\n"
+    (Format.asprintf "%a" Mem_meter.pp_bytes (det.Detector.reach_words ()));
+  Printf.printf "access-history memory:      %s\n"
+    (Format.asprintf "%a" Mem_meter.pp_bytes (det.Detector.history_words ()));
+  Printf.printf "max readers per location:   %d\n" (det.Detector.max_readers ());
+  let racy = print_races (Race.reports det.Detector.races) in
   if stats then begin
     print_endline "-- metrics ----------------------------------------";
     match det.Detector.metrics () with
@@ -82,7 +91,7 @@ let print_detector_report ?(stats = false) det dt =
     | entries ->
         print_string (Format.asprintf "%a" Sfr_obs.Metrics.pp_table entries)
   end;
-  List.length reports
+  racy
 
 (* -- list ------------------------------------------------------------- *)
 
@@ -234,10 +243,14 @@ let run_cmd =
       const run $ workload $ detector $ scale $ executor $ workers $ inject
       $ no_verify $ check_discipline $ stats $ trace_out)
 
-(* -- record / analyze --------------------------------------------------- *)
+(* -- record / replay / analyze ----------------------------------------- *)
 
 let record_cmd =
-  let doc = "Run a benchmark traced and save its dag + access log to a file." in
+  let doc =
+    "Run a benchmark instrumented for recording only and save the execution: \
+     a compact binary event log (sflog, for $(b,replay)) or a textual dag + \
+     access dump (sfdag, for $(b,analyze))."
+  in
   let workload =
     Arg.(
       required
@@ -257,41 +270,238 @@ let record_cmd =
     Arg.(
       required
       & opt (some string) None
-      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output trace file.")
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file.")
   in
-  let run workload scale inject out =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("sflog", `Sflog); ("sfdag", `Sfdag) ]) `Sflog
+      & info [ "format" ]
+          ~doc:"Output format: sflog (binary event log) or sfdag (dag text).")
+  in
+  let executor =
+    Arg.(
+      value
+      & opt (enum [ ("serial", `Serial); ("parallel", `Parallel) ]) `Serial
+      & info [ "e"; "executor" ]
+          ~doc:
+            "Executor: serial or parallel (sflog only; parallel logs replay \
+             under any order-insensitive detector).")
+  in
+  let workers =
+    Arg.(value & opt int 2 & info [ "j"; "workers" ] ~doc:"Parallel workers.")
+  in
+  let run workload scale inject out format executor workers =
     match Registry.find workload with
     | None ->
-        Printf.eprintf "unknown workload %S\n" workload;
+        Printf.eprintf "unknown workload %S (try: racedetect list)\n" workload;
         exit 2
-    | Some w ->
+    | Some w -> (
         let inst = w.Workload.instantiate ~inject_race:inject scale in
-        let trace, cb, root = Trace.make ~log_accesses:true () in
-        let (), _ = Serial_exec.run cb ~root inst.Workload.program in
-        let accesses =
-          List.rev_map
-            (fun (a : Trace.access) ->
-              {
-                Sfr_dag.Dag_io.node = a.Trace.node;
-                loc = a.Trace.loc;
-                is_write = a.Trace.is_write;
-              })
-            (Trace.accesses trace)
-        in
-        Sfr_dag.Dag_io.save_file out ~accesses (Trace.dag trace);
-        Printf.printf "recorded %d nodes, %d futures, %d accesses to %s\n"
-          (Sfr_dag.Dag.n_nodes (Trace.dag trace))
-          (Sfr_dag.Dag.n_futures (Trace.dag trace))
-          (List.length accesses) out
+        match format with
+        | `Sflog ->
+            let rec_, cb, root =
+              try Sfr_eventlog.Recorder.create ~path:out ()
+              with Sys_error msg ->
+                Printf.eprintf "cannot open %s: %s\n" out msg;
+                exit 2
+            in
+            let (), dt =
+              Stats.time (fun () ->
+                  match executor with
+                  | `Serial -> Serial_exec.run cb ~root inst.Workload.program |> fst
+                  | `Parallel ->
+                      Par_exec.run ~workers cb ~root inst.Workload.program |> fst)
+            in
+            let s = Sfr_eventlog.Recorder.close rec_ in
+            Printf.printf
+              "recorded %d events (%d strands, %d worker stream(s)) to %s\n"
+              s.Sfr_eventlog.Recorder.events s.Sfr_eventlog.Recorder.states
+              s.Sfr_eventlog.Recorder.workers out;
+            Printf.printf "%d bytes in %d chunk(s), %.1f bytes/event\n"
+              s.Sfr_eventlog.Recorder.bytes s.Sfr_eventlog.Recorder.flushes
+              (float_of_int s.Sfr_eventlog.Recorder.bytes
+              /. float_of_int (max 1 s.Sfr_eventlog.Recorder.events));
+            Printf.eprintf "recorded in %.3f s (%.0f events/s)\n" dt
+              (float_of_int s.Sfr_eventlog.Recorder.events /. Float.max 1e-9 dt)
+        | `Sfdag ->
+            if executor = `Parallel then begin
+              Printf.eprintf
+                "sfdag recording is serial-only (the dag dump is \
+                 schedule-independent anyway)\n";
+              exit 2
+            end;
+            let trace, cb, root = Trace.make ~log_accesses:true () in
+            let (), _ = Serial_exec.run cb ~root inst.Workload.program in
+            let accesses =
+              List.map
+                (fun (a : Trace.access) ->
+                  {
+                    Sfr_dag.Dag_io.node = a.Trace.node;
+                    loc = a.Trace.loc;
+                    is_write = a.Trace.is_write;
+                  })
+                (Trace.accesses trace)
+            in
+            Sfr_dag.Dag_io.save_file out ~accesses (Trace.dag trace);
+            Printf.printf "recorded %d nodes, %d futures, %d accesses to %s\n"
+              (Sfr_dag.Dag.n_nodes (Trace.dag trace))
+              (Sfr_dag.Dag.n_futures (Trace.dag trace))
+              (List.length accesses) out)
   in
-  Cmd.v (Cmd.info "record" ~doc) Term.(const run $ workload $ scale $ inject $ out)
+  Cmd.v (Cmd.info "record" ~doc)
+    Term.(
+      const run $ workload $ scale $ inject $ out $ format $ executor $ workers)
+
+let replay_cmd =
+  let doc =
+    "Detect races offline by replaying a recorded event log — optionally \
+     sharded by location across parallel domains. Exits 1 when races are \
+     reported, like $(b,run)."
+  in
+  let file =
+    Arg.(
+      required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Event log.")
+  in
+  let detector =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "d"; "detector" ]
+          ~doc:
+            "Detector to replay: sf-order (default), sf-order-2pf, f-order, \
+             or multibags (serial logs only). Incompatible with --shards.")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Replay structure once, then check accesses sharded by location \
+             hash on $(docv) domains (SF-Order reachability). Output is \
+             identical for every shard count.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print metric counters and shard sizes after the replay.")
+  in
+  let no_verify =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ] ~doc:"Exit 0 even when races are reported.")
+  in
+  let run file detector shards stats no_verify =
+    let log =
+      match Sfr_eventlog.Reader.load_file file with
+      | Ok log -> log
+      | Error e ->
+          Printf.eprintf "%s: %s\n" file (Sfr_eventlog.Log_format.error_to_string e);
+          exit 2
+    in
+    let racy =
+      match shards with
+      | Some n when n < 1 ->
+          Printf.eprintf "--shards must be >= 1\n";
+          exit 2
+      | Some n -> (
+          (match detector with
+          | None | Some "sf-order" -> ()
+          | Some d ->
+              Printf.eprintf
+                "sharded replay is SF-Order reachability; --shards cannot be \
+                 combined with -d %s\n"
+                d;
+              exit 2);
+          let res, dt =
+            Stats.time (fun () -> Sfr_eventlog.Shard_replay.run log ~shards:n)
+          in
+          match res with
+          | Error e ->
+              Printf.eprintf "%s: %s\n" file
+                (Sfr_eventlog.Replay.error_to_string e);
+              exit 2
+          | Ok r ->
+              (* stdout is shard-count-independent (diffable across N);
+                 timing and the shard split go to stderr / --stats *)
+              Printf.printf "replayed %d structural events, %d accesses\n"
+                r.Sfr_eventlog.Shard_replay.structural
+                r.Sfr_eventlog.Shard_replay.accesses;
+              Printf.printf "reachability queries: %d\n"
+                r.Sfr_eventlog.Shard_replay.queries;
+              let racy = print_races r.Sfr_eventlog.Shard_replay.reports in
+              Printf.eprintf "replayed in %.3f s on %d shard(s)\n" dt n;
+              if stats then begin
+                print_endline "-- shards -----------------------------------------";
+                Array.iteri
+                  (fun i sz -> Printf.printf "shard %d: %d accesses\n" i sz)
+                  r.Sfr_eventlog.Shard_replay.shard_sizes
+              end;
+              racy)
+      | None -> (
+          let make_det =
+            match detector_of (Option.value detector ~default:"sf-order") with
+            | Ok f -> f
+            | Error (`Msg m) ->
+                Printf.eprintf "%s\n" m;
+                exit 2
+          in
+          let det = make_det () in
+          if
+            (not det.Detector.supports_parallel)
+            && Sfr_eventlog.Reader.n_workers log > 1
+          then begin
+            Printf.eprintf
+              "%s requires a depth-first event order; this log has %d worker \
+               streams (record with the serial executor)\n"
+              det.Detector.name
+              (Sfr_eventlog.Reader.n_workers log);
+            exit 2
+          end;
+          let res, dt =
+            Stats.time (fun () -> Sfr_eventlog.Replay.run_detector log det)
+          in
+          match res with
+          | Error e ->
+              Printf.eprintf "%s: %s\n" file
+                (Sfr_eventlog.Replay.error_to_string e);
+              exit 2
+          | Ok n ->
+              Printf.printf "replayed %d events under %s\n" n det.Detector.name;
+              Printf.printf "reachability queries: %d\n" (det.Detector.queries ());
+              let racy = print_races (Race.reports det.Detector.races) in
+              Printf.eprintf "replayed in %.3f s\n" dt;
+              racy)
+    in
+    if stats then begin
+      print_endline "-- metrics ----------------------------------------";
+      print_string
+        (Format.asprintf "%a" Sfr_obs.Metrics.pp_table (Sfr_obs.Metrics.snapshot ()))
+    end;
+    if racy > 0 && not no_verify then exit 1
+  in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(const run $ file $ detector $ shards $ stats $ no_verify)
 
 let analyze_cmd =
-  let doc = "Offline analysis of a recorded trace: races, work/span, speedups." in
+  let doc = "Offline analysis of a recorded sfdag trace: races, work/span, speedups." in
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Trace file.")
   in
-  let run file =
+  let no_verify =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ] ~doc:"Exit 0 even when races are found.")
+  in
+  let run file no_verify =
+    (match Sfr_eventlog.Reader.load_file file with
+    | Ok _ ->
+        Printf.eprintf
+          "%s is a binary event log; use: racedetect replay %s\n" file file;
+        exit 2
+    | Error _ -> ());
     let dag, accesses =
       match Sfr_dag.Dag_io.load_file_result file with
       | Ok v -> v
@@ -326,9 +536,11 @@ let analyze_cmd =
     Printf.printf "accesses: %d; racy locations: %d (%d racing pairs)\n"
       (List.length accesses)
       (List.length v.Naive_detector.racy_locations)
-      v.Naive_detector.races_found
+      v.Naive_detector.races_found;
+    (* same convention as run/replay: finding races is exit 1 *)
+    if v.Naive_detector.racy_locations <> [] && not no_verify then exit 1
   in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ file)
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ file $ no_verify)
 
 (* -- synth ------------------------------------------------------------- *)
 
@@ -518,4 +730,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; synth_cmd; record_cmd; analyze_cmd; chaos_cmd ]))
+          [
+            list_cmd;
+            run_cmd;
+            synth_cmd;
+            record_cmd;
+            replay_cmd;
+            analyze_cmd;
+            chaos_cmd;
+          ]))

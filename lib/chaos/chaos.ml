@@ -10,9 +10,21 @@ let m_delays = Metrics.counter "chaos.delays"
 let m_injected = Metrics.counter "chaos.injected"
 let m_force_steals = Metrics.counter "chaos.force_steals"
 
-type site = Spawn | Create | Get | Sync | Steal | Lock_acquire | Relabel | Task
+type site =
+  | Spawn
+  | Create
+  | Get
+  | Sync
+  | Steal
+  | Lock_acquire
+  | Relabel
+  | Task
+  | Record
+  | Log_flush
 
-let all_sites = [ Spawn; Create; Get; Sync; Steal; Lock_acquire; Relabel; Task ]
+let all_sites =
+  [ Spawn; Create; Get; Sync; Steal; Lock_acquire; Relabel; Task; Record; Log_flush ]
+
 let nsites = List.length all_sites
 
 let site_index = function
@@ -24,6 +36,8 @@ let site_index = function
   | Lock_acquire -> 5
   | Relabel -> 6
   | Task -> 7
+  | Record -> 8
+  | Log_flush -> 9
 
 let site_name = function
   | Spawn -> "spawn"
@@ -34,6 +48,8 @@ let site_name = function
   | Lock_acquire -> "lock_acquire"
   | Relabel -> "relabel"
   | Task -> "task"
+  | Record -> "record"
+  | Log_flush -> "log_flush"
 
 type action = Pass | Yield | Delay of int | Fault | Force_steal
 

@@ -34,6 +34,8 @@ type site =
   | Lock_acquire  (** an access-history stripe lock / CAS publication *)
   | Relabel  (** an OM relabel window is open (perturb-only site) *)
   | Task  (** a scheduled task is about to run *)
+  | Record  (** an event-log structural record is being appended *)
+  | Log_flush  (** an event-log buffer is about to flush to the file *)
 
 val all_sites : site list
 val site_name : site -> string
@@ -56,7 +58,10 @@ type config = {
       (** sites where [Fault] may fire. Keep {!Steal}, {!Lock_acquire} and
           {!Relabel} out of this list: those points sit inside scheduler
           loops or critical sections where a synthetic raise would test the
-          injector, not the system. *)
+          injector, not the system. {!Record} and {!Log_flush} are valid
+          fault sites: a raise there abandons an event-log mid-write,
+          which is exactly how the torn/truncated-log corpus for
+          {!Sfr_eventlog.Reader} is produced. *)
   max_faults : int;  (** cap on faults raised per armed campaign *)
 }
 

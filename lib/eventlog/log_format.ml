@@ -1,0 +1,265 @@
+let magic = "SFLG"
+let version = 1
+
+type event =
+  | Spawn of { cur : int; child : int; cont : int }
+  | Create of { cur : int; child : int; cont : int }
+  | Sync of {
+      cur : int;
+      spawned_lasts : int list;
+      created_firsts : int list;
+      next : int;
+    }
+  | Put of { cur : int }
+  | Get of { cur : int; put : int; next : int }
+  | Returned of { cont : int; child_last : int }
+  | Read of { cur : int; loc : int }
+  | Write of { cur : int; loc : int }
+  | Work of { cur : int; amount : int }
+
+let is_access = function Read _ | Write _ -> true | _ -> false
+
+let inputs = function
+  | Spawn { cur; _ } | Create { cur; _ } -> [ cur ]
+  | Sync { cur; spawned_lasts; created_firsts; _ } ->
+      cur :: (spawned_lasts @ created_firsts)
+  | Put { cur } -> [ cur ]
+  | Get { cur; put; _ } -> [ cur; put ]
+  | Returned { cont; child_last } -> [ cont; child_last ]
+  | Read { cur; _ } | Write { cur; _ } | Work { cur; _ } -> [ cur ]
+
+let defines = function
+  | Spawn { child; cont; _ } | Create { child; cont; _ } -> [ child; cont ]
+  | Sync { next; _ } | Get { next; _ } -> [ next ]
+  | Put _ | Returned _ | Read _ | Write _ | Work _ -> []
+
+type error =
+  | Bad_magic of { got : string }
+  | Bad_version of { got : int }
+  | Truncated of { offset : int; while_ : string }
+  | Bad_varint of { offset : int }
+  | Bad_opcode of { offset : int; opcode : int }
+  | Bad_crc of { expected : int; got : int }
+  | State_out_of_range of { offset : int; id : int; bound : int }
+  | Corrupt of { offset : int; what : string }
+
+let error_to_string = function
+  | Bad_magic { got } ->
+      Printf.sprintf "not an sflog file (magic %S, expected %S)" got magic
+  | Bad_version { got } ->
+      Printf.sprintf "unsupported sflog version %d (this reader speaks %d)" got
+        version
+  | Truncated { offset; while_ } ->
+      Printf.sprintf "truncated log: unexpected end of file at byte %d (%s)"
+        offset while_
+  | Bad_varint { offset } ->
+      Printf.sprintf "malformed varint at byte %d (overflows a 63-bit int)"
+        offset
+  | Bad_opcode { offset; opcode } ->
+      Printf.sprintf "unknown opcode 0x%02x at byte %d" opcode offset
+  | Bad_crc { expected; got } ->
+      Printf.sprintf "checksum mismatch: footer says 0x%08x, payload is 0x%08x"
+        expected got
+  | State_out_of_range { offset; id; bound } ->
+      Printf.sprintf
+        "state/future id %d at byte %d out of range (footer declares %d states)"
+        id offset bound
+  | Corrupt { offset; what } ->
+      Printf.sprintf "corrupt log at byte %d: %s" offset what
+
+(* -- varints ----------------------------------------------------------- *)
+
+let write_varint buf n =
+  if n < 0 then invalid_arg "Log_format.write_varint: negative";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7F)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let zigzag n = (n lsl 1) lxor (n asr (Sys.int_size - 1))
+let unzigzag z = (z lsr 1) lxor (-(z land 1))
+let write_zigzag buf n = write_varint buf (zigzag n)
+
+let read_varint bytes ~pos ~limit =
+  let rec go p shift acc =
+    if p >= limit then Error (Truncated { offset = p; while_ = "reading varint" })
+    else
+      let b = Char.code (Bytes.get bytes p) in
+      let payload = b land 0x7F in
+      (* 9 full groups of 7 bits = 63 bits fill an OCaml int; a 10th group
+         (shift 63) or high bits that would shift out overflow it. *)
+      if shift > Sys.int_size - 1
+         || (shift > 0 && payload lsl shift asr shift <> payload)
+      then Error (Bad_varint { offset = pos })
+      else
+        let acc = acc lor (payload lsl shift) in
+        if b land 0x80 = 0 then Ok (acc, p + 1) else go (p + 1) (shift + 7) acc
+  in
+  go pos 0 0
+
+let read_zigzag bytes ~pos ~limit =
+  match read_varint bytes ~pos ~limit with
+  | Ok (z, p) -> Ok (unzigzag z, p)
+  | Error _ as e -> e
+
+(* -- events ------------------------------------------------------------ *)
+
+let op_spawn = 1
+let op_create = 2
+let op_sync = 3
+let op_put = 4
+let op_get = 5
+let op_returned = 6
+let op_read = 7
+let op_write = 8
+let op_work = 9
+
+let write_event buf ~last_loc ev =
+  let op n = Buffer.add_char buf (Char.chr n) in
+  let v n = write_varint buf n in
+  match ev with
+  | Spawn { cur; child; cont } ->
+      op op_spawn;
+      v cur;
+      v child;
+      v cont;
+      last_loc
+  | Create { cur; child; cont } ->
+      op op_create;
+      v cur;
+      v child;
+      v cont;
+      last_loc
+  | Sync { cur; spawned_lasts; created_firsts; next } ->
+      op op_sync;
+      v cur;
+      v (List.length spawned_lasts);
+      List.iter v spawned_lasts;
+      v (List.length created_firsts);
+      List.iter v created_firsts;
+      v next;
+      last_loc
+  | Put { cur } ->
+      op op_put;
+      v cur;
+      last_loc
+  | Get { cur; put; next } ->
+      op op_get;
+      v cur;
+      v put;
+      v next;
+      last_loc
+  | Returned { cont; child_last } ->
+      op op_returned;
+      v cont;
+      v child_last;
+      last_loc
+  | Read { cur; loc } ->
+      op op_read;
+      v cur;
+      write_zigzag buf (loc - last_loc);
+      loc
+  | Write { cur; loc } ->
+      op op_write;
+      v cur;
+      write_zigzag buf (loc - last_loc);
+      loc
+  | Work { cur; amount } ->
+      op op_work;
+      v cur;
+      v amount;
+      last_loc
+
+let read_event bytes ~pos ~limit ~last_loc ~states =
+  let ( let* ) = Result.bind in
+  let sid p (v, p') =
+    (* every state reference is bounds-checked against the footer's
+       declared state count before the event is surfaced *)
+    if v < 0 || v >= states then
+      Error (State_out_of_range { offset = p; id = v; bound = states })
+    else Ok (v, p')
+  in
+  let* opcode, p =
+    if pos >= limit then
+      Error (Truncated { offset = pos; while_ = "reading opcode" })
+    else Ok (Char.code (Bytes.get bytes pos), pos + 1)
+  in
+  let rv p = read_varint bytes ~pos:p ~limit in
+  let rs p =
+    let* r = rv p in
+    sid p r
+  in
+  if opcode = op_spawn || opcode = op_create then
+    let* cur, p = rs p in
+    let* child, p = rs p in
+    let* cont, p = rs p in
+    let ev =
+      if opcode = op_spawn then Spawn { cur; child; cont }
+      else Create { cur; child; cont }
+    in
+    Ok (ev, p, last_loc)
+  else if opcode = op_sync then
+    let* cur, p = rs p in
+    let rec list n p acc =
+      if n = 0 then Ok (List.rev acc, p)
+      else
+        let* s, p = rs p in
+        list (n - 1) p (s :: acc)
+    in
+    let* nsp, p = rv p in
+    let* spawned_lasts, p = list nsp p [] in
+    let* ncr, p = rv p in
+    let* created_firsts, p = list ncr p [] in
+    let* next, p = rs p in
+    Ok (Sync { cur; spawned_lasts; created_firsts; next }, p, last_loc)
+  else if opcode = op_put then
+    let* cur, p = rs p in
+    Ok (Put { cur }, p, last_loc)
+  else if opcode = op_get then
+    let* cur, p = rs p in
+    let* put, p = rs p in
+    let* next, p = rs p in
+    Ok (Get { cur; put; next }, p, last_loc)
+  else if opcode = op_returned then
+    let* cont, p = rs p in
+    let* child_last, p = rs p in
+    Ok (Returned { cont; child_last }, p, last_loc)
+  else if opcode = op_read || opcode = op_write then
+    let* cur, p = rs p in
+    let* delta, p' = read_zigzag bytes ~pos:p ~limit in
+    let loc = last_loc + delta in
+    if loc < 0 then
+      Error (Corrupt { offset = p; what = "negative access location" })
+    else
+      let ev = if opcode = op_read then Read { cur; loc } else Write { cur; loc } in
+      Ok (ev, p', loc)
+  else if opcode = op_work then
+    let* cur, p = rs p in
+    let* amount, p = rv p in
+    Ok (Work { cur; amount }, p, last_loc)
+  else Error (Bad_opcode { offset = pos; opcode })
+
+(* -- crc32 ------------------------------------------------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32_init = 0
+
+let crc32_update crc bytes ~pos ~len =
+  let table = Lazy.force crc_table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.get bytes i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF

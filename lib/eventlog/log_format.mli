@@ -1,0 +1,109 @@
+(** The .sflog binary event-log format (version 1): wire-level codecs
+    shared by {!Recorder} (writer) and {!Reader}.
+
+    A log is a header, a sequence of {e chunks}, and a footer:
+
+    {v
+    header  ::= magic "SFLG" (4 bytes) | version (1 byte, = 1)
+    chunk   ::= 0x01 | worker:varint | len:varint | payload (len bytes)
+    footer  ::= 0x00 | events:varint | states:varint | workers:varint
+                     | crc32 (4 bytes, little-endian)
+    v}
+
+    Chunk payloads are event records. Concatenating one worker's chunk
+    payloads in file order yields that worker's {e stream}: a total order
+    of the events the worker executed, consistent with real time on that
+    worker. Events never span a chunk boundary (the recorder flushes only
+    at event boundaries). The footer CRC covers every chunk payload byte
+    in file order; [states] is the exclusive upper bound on state IDs, so
+    a reader can validate every reference (and size its replay table)
+    before replaying anything.
+
+    Integers are LEB128-style varints (7 bits per byte, low bits first,
+    high bit = continue; at most 10 bytes — OCaml's 63-bit int range).
+    Access locations are delta-encoded per worker stream (zigzag of the
+    difference from the previous access location in the same stream), so
+    the dominant record — an access to a nearby location — is 3 bytes. *)
+
+val magic : string
+(** ["SFLG"]. *)
+
+val version : int
+
+(** Event records. State IDs are dense from 0 (the root strand); every ID
+    is {e defined} by exactly one event (or is the root) and may be
+    referenced by later events of any worker. *)
+type event =
+  | Spawn of { cur : int; child : int; cont : int }
+  | Create of { cur : int; child : int; cont : int }
+  | Sync of {
+      cur : int;
+      spawned_lasts : int list;
+      created_firsts : int list;
+      next : int;
+    }
+  | Put of { cur : int }
+  | Get of { cur : int; put : int; next : int }
+  | Returned of { cont : int; child_last : int }
+  | Read of { cur : int; loc : int }
+  | Write of { cur : int; loc : int }
+  | Work of { cur : int; amount : int }
+
+val is_access : event -> bool
+
+val inputs : event -> int list
+(** State IDs the event references (must be defined before it applies). *)
+
+val defines : event -> int list
+(** State IDs the event defines (fresh; at most 2). *)
+
+(** Typed decode errors. [offset] is the absolute byte offset in the
+    file, so a corrupt log names the exact byte. *)
+type error =
+  | Bad_magic of { got : string }
+  | Bad_version of { got : int }
+  | Truncated of { offset : int; while_ : string }
+  | Bad_varint of { offset : int }
+  | Bad_opcode of { offset : int; opcode : int }
+  | Bad_crc of { expected : int; got : int }
+  | State_out_of_range of { offset : int; id : int; bound : int }
+  | Corrupt of { offset : int; what : string }
+
+val error_to_string : error -> string
+
+(* -- varints ----------------------------------------------------------- *)
+
+val write_varint : Buffer.t -> int -> unit
+(** @raise Invalid_argument on negative input. *)
+
+val write_zigzag : Buffer.t -> int -> unit
+(** Signed variant (zigzag then varint). *)
+
+val read_varint : Bytes.t -> pos:int -> limit:int -> (int * int, error) result
+(** [(value, next_pos)]; fails with [Bad_varint] (overflow / more than 10
+    bytes) or [Truncated]. *)
+
+val read_zigzag : Bytes.t -> pos:int -> limit:int -> (int * int, error) result
+
+(* -- events ------------------------------------------------------------ *)
+
+val write_event : Buffer.t -> last_loc:int -> event -> int
+(** Append one event record; returns the new [last_loc] (the delta base
+    for the stream's next access). *)
+
+val read_event :
+  Bytes.t ->
+  pos:int ->
+  limit:int ->
+  last_loc:int ->
+  states:int ->
+  (event * int * int, error) result
+(** [(event, next_pos, last_loc')]. Validates opcodes and that every
+    state ID is in [0, states). *)
+
+(* -- crc32 ------------------------------------------------------------- *)
+
+val crc32_init : int
+val crc32_update : int -> Bytes.t -> pos:int -> len:int -> int
+(** Standard CRC-32 (polynomial 0xEDB88320), kept in an int in
+    [0, 0xFFFFFFFF]. *)

@@ -1,0 +1,139 @@
+open Log_format
+
+type t = {
+  n_states : int;
+  n_events : int;
+  streams : event array array;
+}
+
+let n_workers t = Array.length t.streams
+let n_events t = t.n_events
+let n_states t = t.n_states
+let stream t ~worker = t.streams.(worker)
+
+let iter t f =
+  Array.iteri
+    (fun worker evs -> Array.iter (fun ev -> f ~worker ev) evs)
+    t.streams
+
+let ( let* ) = Result.bind
+
+let load_bytes bytes =
+  let len = Bytes.length bytes in
+  let* () =
+    let mlen = String.length magic in
+    if len < mlen + 1 then
+      Error (Truncated { offset = len; while_ = "reading header" })
+    else if Bytes.sub_string bytes 0 mlen <> magic then
+      Error (Bad_magic { got = Bytes.sub_string bytes 0 (min mlen len) })
+    else Ok ()
+  in
+  let* () =
+    let v = Char.code (Bytes.get bytes (String.length magic)) in
+    if v <> version then Error (Bad_version { got = v }) else Ok ()
+  in
+  (* chunk walk: collect (worker, payload start, payload length) in file
+     order, accumulate the CRC, stop at the footer *)
+  let rec chunks pos crc acc =
+    if pos >= len then
+      Error (Truncated { offset = pos; while_ = "expecting chunk or footer" })
+    else
+      let tag = Char.code (Bytes.get bytes pos) in
+      if tag = 1 then
+        let* worker, p = read_varint bytes ~pos:(pos + 1) ~limit:len in
+        let* plen, p = read_varint bytes ~pos:p ~limit:len in
+        if p + plen > len then
+          Error (Truncated { offset = len; while_ = "reading chunk payload" })
+        else
+          let crc = crc32_update crc bytes ~pos:p ~len:plen in
+          chunks (p + plen) crc ((worker, p, plen) :: acc)
+      else if tag = 0 then
+        let* n_events, p = read_varint bytes ~pos:(pos + 1) ~limit:len in
+        let* n_states, p = read_varint bytes ~pos:p ~limit:len in
+        let* n_workers, p = read_varint bytes ~pos:p ~limit:len in
+        if p + 4 > len then
+          Error (Truncated { offset = len; while_ = "reading footer CRC" })
+        else
+          let expected =
+            Char.code (Bytes.get bytes p)
+            lor (Char.code (Bytes.get bytes (p + 1)) lsl 8)
+            lor (Char.code (Bytes.get bytes (p + 2)) lsl 16)
+            lor (Char.code (Bytes.get bytes (p + 3)) lsl 24)
+          in
+          if p + 4 <> len then
+            Error
+              (Corrupt { offset = p + 4; what = "trailing bytes after footer" })
+          else if expected <> crc then
+            Error (Bad_crc { expected; got = crc })
+          else Ok (List.rev acc, n_events, n_states, n_workers)
+      else Error (Bad_opcode { offset = pos; opcode = tag })
+  in
+  let* chunk_list, n_events, n_states, nw =
+    chunks (String.length magic + 1) crc32_init []
+  in
+  let* () =
+    if n_states < 1 then
+      Error (Corrupt { offset = 0; what = "footer declares no states" })
+    else Ok ()
+  in
+  let* () =
+    List.fold_left
+      (fun acc (worker, pos, _) ->
+        let* () = acc in
+        if worker < 0 || worker >= nw then
+          Error
+            (Corrupt
+               {
+                 offset = pos;
+                 what =
+                   Printf.sprintf "chunk for worker %d but footer declares %d"
+                     worker nw;
+               })
+        else Ok ())
+      (Ok ()) chunk_list
+  in
+  (* decode each worker's stream; location deltas run across chunk
+     boundaries, so [last_loc] is per worker, not per chunk *)
+  let revs = Array.make (max nw 0) [] in
+  let counts = Array.make (max nw 0) 0 in
+  let last_locs = Array.make (max nw 0) 0 in
+  let rec decode_chunk worker pos limit =
+    if pos = limit then Ok ()
+    else
+      let* ev, p, last_loc =
+        read_event bytes ~pos ~limit ~last_loc:last_locs.(worker)
+          ~states:n_states
+      in
+      last_locs.(worker) <- last_loc;
+      revs.(worker) <- ev :: revs.(worker);
+      counts.(worker) <- counts.(worker) + 1;
+      decode_chunk worker p limit
+  in
+  let* () =
+    List.fold_left
+      (fun acc (worker, pos, plen) ->
+        let* () = acc in
+        decode_chunk worker pos (pos + plen))
+      (Ok ()) chunk_list
+  in
+  let total = Array.fold_left ( + ) 0 counts in
+  let* () =
+    if total <> n_events then
+      Error
+        (Corrupt
+           {
+             offset = len;
+             what =
+               Printf.sprintf "footer declares %d events, chunks decode to %d"
+                 n_events total;
+           })
+    else Ok ()
+  in
+  let streams =
+    Array.map (fun rev -> Array.of_list (List.rev rev)) revs
+  in
+  Ok { n_states; n_events; streams }
+
+let load_file path =
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  load_bytes (Bytes.unsafe_of_string contents)

@@ -1,0 +1,28 @@
+(** Validating .sflog reader.
+
+    One pass over the file checks the header, walks the chunks, verifies
+    the footer CRC over every payload byte, then decodes each worker's
+    stream (bounds-checking every state ID against the footer's declared
+    state count). Every failure is a typed {!Log_format.error} carrying
+    the absolute byte offset — a truncated, torn, or bit-flipped log is
+    an [Error], never an exception. *)
+
+type t
+
+val load_file : string -> (t, Log_format.error) result
+(** @raise Sys_error only for OS-level failures opening/reading [path]
+    (absent file, permissions); all format problems are [Error]. *)
+
+val load_bytes : Bytes.t -> (t, Log_format.error) result
+(** Same, from an in-memory image (tests, network transport). *)
+
+val n_workers : t -> int
+val n_events : t -> int
+val n_states : t -> int
+(** Exclusive upper bound on state IDs ([0] is the root strand). *)
+
+val stream : t -> worker:int -> Log_format.event array
+(** Worker [worker]'s event stream, in recorded (real-time) order. *)
+
+val iter : t -> (worker:int -> Log_format.event -> unit) -> unit
+(** Every event, stream by stream. *)

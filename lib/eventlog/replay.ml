@@ -1,0 +1,135 @@
+module Events = Sfr_runtime.Events
+module Metrics = Sfr_obs.Metrics
+
+let m_replayed = Metrics.counter "eventlog.replay.events"
+
+type error =
+  | Stuck of { replayed : int; worker : int; index : int; missing : int }
+  | Redefined of { worker : int; index : int; id : int }
+
+let error_to_string = function
+  | Stuck { replayed; worker; index; missing } ->
+      Printf.sprintf
+        "inconsistent log: replay stuck after %d events (worker %d event %d \
+         waits on state %d, which nothing defines)"
+        replayed worker index missing
+  | Redefined { worker; index; id } ->
+      Printf.sprintf
+        "inconsistent log: worker %d event %d redefines state %d" worker index
+        id
+
+exception Redefined_exn of int
+
+let drive reader ~apply ~root =
+  let n_workers = Reader.n_workers reader in
+  let streams = Array.init n_workers (fun worker -> Reader.stream reader ~worker) in
+  let heads = Array.make n_workers 0 in
+  let states : Events.state option array =
+    Array.make (Reader.n_states reader) None
+  in
+  states.(0) <- Some root;
+  let lookup id =
+    match states.(id) with
+    | Some s -> s
+    | None -> assert false (* readiness-checked before apply *)
+  in
+  let define id s =
+    match states.(id) with
+    | None -> states.(id) <- Some s
+    | Some _ -> raise (Redefined_exn id)
+  in
+  let ready ev =
+    List.for_all (fun id -> states.(id) <> None) (Log_format.inputs ev)
+  in
+  let remaining = ref (Reader.n_events reader) in
+  let replayed = ref 0 in
+  let result = ref (Ok ()) in
+  (* Greedy topological merge: sweep the streams, draining every ready
+     head; real time witnesses that some head is always ready for a log
+     produced by the recorder, so a full fruitless sweep means the log is
+     inconsistent. *)
+  (try
+     while !remaining > 0 do
+       let progress = ref false in
+       for w = 0 to n_workers - 1 do
+         let stream = streams.(w) in
+         let continue_ = ref true in
+         while !continue_ && heads.(w) < Array.length stream do
+           let ev = stream.(heads.(w)) in
+           if ready ev then begin
+             (try apply ~lookup ~define ev
+              with Redefined_exn id ->
+                result := Error (Redefined { worker = w; index = heads.(w); id });
+                raise Exit);
+             heads.(w) <- heads.(w) + 1;
+             incr replayed;
+             decr remaining;
+             progress := true
+           end
+           else continue_ := false
+         done
+       done;
+       if not !progress then begin
+         (* name the first blocked stream and the state it waits on *)
+         let blocked = ref None in
+         for w = n_workers - 1 downto 0 do
+           if heads.(w) < Array.length streams.(w) then
+             let ev = streams.(w).(heads.(w)) in
+             match
+               List.find_opt
+                 (fun id -> states.(id) = None)
+                 (Log_format.inputs ev)
+             with
+             | Some missing -> blocked := Some (w, heads.(w), missing)
+             | None -> ()
+         done;
+         (match !blocked with
+         | Some (worker, index, missing) ->
+             result :=
+               Error (Stuck { replayed = !replayed; worker; index; missing })
+         | None ->
+             (* streams drained early: footer count was higher than the
+                events decoded — the reader prevents this, but stay total *)
+             result :=
+               Error
+                 (Stuck { replayed = !replayed; worker = 0; index = 0; missing = 0 }));
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  match !result with
+  | Ok () ->
+      Metrics.add m_replayed !replayed;
+      Ok !replayed
+  | Error e -> Error e
+
+let apply_callbacks (cb : Events.callbacks) ~lookup ~define ev =
+  match (ev : Log_format.event) with
+  | Spawn { cur; child; cont } ->
+      let c, t = cb.on_spawn (lookup cur) in
+      define child c;
+      define cont t
+  | Create { cur; child; cont } ->
+      let c, t = cb.on_create (lookup cur) in
+      define child c;
+      define cont t
+  | Sync { cur; spawned_lasts; created_firsts; next } ->
+      define next
+        (cb.on_sync ~cur:(lookup cur)
+           ~spawned_lasts:(List.map lookup spawned_lasts)
+           ~created_firsts:(List.map lookup created_firsts))
+  | Put { cur } -> cb.on_put (lookup cur)
+  | Get { cur; put; next } ->
+      define next (cb.on_get ~cur:(lookup cur) ~put:(lookup put))
+  | Returned { cont; child_last } ->
+      cb.on_returned ~cont:(lookup cont) ~child_last:(lookup child_last)
+  | Read { cur; loc } -> cb.on_read (lookup cur) loc
+  | Write { cur; loc } -> cb.on_write (lookup cur) loc
+  | Work { cur; amount } -> cb.on_work (lookup cur) amount
+
+let run reader ~callbacks ~root =
+  drive reader ~apply:(apply_callbacks callbacks) ~root
+
+let run_detector reader (det : Sfr_detect.Detector.t) =
+  run reader ~callbacks:det.Sfr_detect.Detector.callbacks
+    ~root:det.Sfr_detect.Detector.root

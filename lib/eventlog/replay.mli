@@ -1,0 +1,66 @@
+(** Offline replay: re-run any {!Sfr_runtime.Events.callbacks} client —
+    in particular any registered detector — over a recorded log, without
+    re-executing the workload.
+
+    The log's per-worker streams are merged by a greedy topological rule:
+    an event is {e ready} once every state ID it references has been
+    defined (by an earlier event of any stream); ready stream heads are
+    applied until all streams drain. Because the recorder allocates and
+    writes a state's defining event before any worker can reference it,
+    real time is a witness schedule: the earliest-unapplied event in real
+    time is always ready, so the merge never deadlocks on a well-formed
+    log and yields a linearization of the recorded dag. A log recorded
+    serially (one worker) replays in exactly the recorded order, so a
+    detector replayed over it performs the identical callback sequence —
+    and reports the identical races — as the live run.
+
+    Logs that pass the reader's CRC but are logically inconsistent (a
+    reference to a never-defined state, a state defined twice) surface as
+    typed errors, never crashes. *)
+
+type error =
+  | Stuck of { replayed : int; worker : int; index : int; missing : int }
+      (** No stream can make progress: the head event of [worker] at
+          [index] references state [missing], which no remaining event
+          defines. *)
+  | Redefined of { worker : int; index : int; id : int }
+      (** The event at [worker]/[index] defines a state that already
+          exists. *)
+
+val error_to_string : error -> string
+
+val run :
+  Reader.t ->
+  callbacks:Sfr_runtime.Events.callbacks ->
+  root:Sfr_runtime.Events.state ->
+  (int, error) result
+(** Replay every event through [callbacks], threading states from
+    [root]; returns the number of events replayed. *)
+
+val run_detector : Reader.t -> Sfr_detect.Detector.t -> (int, error) result
+(** [run] against the detector's callbacks and root; verdicts are read
+    from the detector as after a live run. *)
+
+(* -- building blocks for custom replays (see {!Shard_replay}) ---------- *)
+
+val drive :
+  Reader.t ->
+  apply:
+    (lookup:(int -> Sfr_runtime.Events.state) ->
+    define:(int -> Sfr_runtime.Events.state -> unit) ->
+    Log_format.event ->
+    unit) ->
+  root:Sfr_runtime.Events.state ->
+  (int, error) result
+(** The merge loop alone: [apply] is called once per event, in a valid
+    linearization, and must [define] exactly the IDs
+    {!Log_format.defines} lists for it. [lookup] is total on every ID
+    the event references. *)
+
+val apply_callbacks :
+  Sfr_runtime.Events.callbacks ->
+  lookup:(int -> Sfr_runtime.Events.state) ->
+  define:(int -> Sfr_runtime.Events.state -> unit) ->
+  Log_format.event ->
+  unit
+(** The standard [apply]: dispatch one event to the client callbacks. *)

@@ -88,4 +88,16 @@ let accesses t =
   Mutex.lock t.log_mu;
   let items = t.log_items in
   Mutex.unlock t.log_mu;
-  items
+  (* Deterministic order regardless of executor and schedule: node IDs
+     are assigned in event order, so (node, loc, is_write) is a total
+     key up to indistinguishable duplicates — oracle comparisons and log
+     round-trip tests can diff access lists structurally. *)
+  List.sort
+    (fun a b ->
+      match Int.compare a.node b.node with
+      | 0 -> (
+          match Int.compare a.loc b.loc with
+          | 0 -> Bool.compare a.is_write b.is_write
+          | c -> c)
+      | c -> c)
+    items

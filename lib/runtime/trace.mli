@@ -20,7 +20,10 @@ val dag : t -> Sfr_dag.Dag.t
 val reads : t -> int
 val writes : t -> int
 val accesses : t -> access list
-(** In no particular order (empty unless [log_accesses] was set). *)
+(** Sorted by node ID, then location, then kind (reads before writes) —
+    a deterministic order independent of executor and schedule, so
+    access lists from different runs of the same program diff
+    structurally. Empty unless [log_accesses] was set. *)
 
 val node_of : Events.state -> Sfr_dag.Dag.node
 (** @raise Invalid_argument on a foreign state. *)
