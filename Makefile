@@ -1,4 +1,4 @@
-.PHONY: all build test bench profile examples replay-smoke clean
+.PHONY: all build test bench profile perfdiff examples replay-smoke clean
 
 all: build
 
@@ -13,6 +13,12 @@ bench:
 
 profile:
 	dune exec bench/main.exe -- profile --scale small
+
+# Fresh tiny-scale profile vs the committed baseline; exits 1 if any
+# (workload, detector) median regressed beyond max(10%, 3xMAD).
+perfdiff:
+	dune exec bench/main.exe -- profile --scale tiny --repeats 3 --profile-out /tmp/perfdiff_new.json
+	dune exec bench/main.exe -- perfdiff BENCH_profile.json /tmp/perfdiff_new.json
 
 examples:
 	dune exec examples/quickstart.exe

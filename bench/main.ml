@@ -12,15 +12,18 @@
      ablation-readers  keep-all vs 2-per-future reader policies
      ablation-history  mutex vs lock-free vs unsynchronized access history
      eventlog          record-only overhead vs live detection; shard scaling
-     profile           dump per-configuration metric snapshots as JSON
+     profile           dump per-configuration snapshots as schema-v2 JSON
+     perfdiff OLD NEW  compare two profile dumps; exit 1 on regression
+     prof-overhead     A/B microbenchmark of the disabled Prof hot path
      micro             Bechamel micro-benchmarks of the substrate
-     all               everything above except profile (default)
+     all               everything above except profile/perfdiff (default)
 
    Options: --scale tiny|small|default|large|paper   (default: default)
             --repeats N                              (default: 2)
             --workers P                              (default: 20)
             --trace-out FILE   write a chrome://tracing JSON of the run
             --profile-out FILE (default: BENCH_profile.json)
+            --report-only      perfdiff prints but never exits 1
             --no-metrics       disable Sfr_obs counters for timing runs   *)
 
 module Figures = Sfr_harness.Figures
@@ -92,6 +95,99 @@ let micro () =
           | Some _ | None -> Printf.printf "  %-32s (no estimate)\n%!" name)
         results)
     tests
+
+(* ---------------------------------------------------------------- *)
+(* perfdiff: regression gate over two profile dumps                   *)
+(* ---------------------------------------------------------------- *)
+
+(* Exit codes follow the racedetect convention: 0 clean, 1 regression
+   found, 2 usage/schema/IO problem. [--report-only] keeps the table but
+   downgrades exit 1 to 0, for advisory CI lanes. *)
+let perfdiff ~report_only old_path new_path =
+  let module Bs = Sfr_harness.Bench_schema in
+  let load path =
+    match Bs.load path with
+    | Ok t -> t
+    | Error msg ->
+        Printf.eprintf "perfdiff: %s: %s\n" path msg;
+        exit 2
+  in
+  let old_ = load old_path in
+  let new_ = load new_path in
+  match Bs.diff ~old_ ~new_ with
+  | Error msg ->
+      Printf.eprintf "perfdiff: %s\n" msg;
+      exit 2
+  | Ok d ->
+      Format.printf "perfdiff %s -> %s@." old_path new_path;
+      Format.printf "%a" Bs.pp_diff d;
+      if Bs.has_regression d then
+        if report_only then
+          Format.printf "(report-only: regression NOT failing the run)@."
+        else exit 1
+
+(* ---------------------------------------------------------------- *)
+(* prof-overhead: cost of instrumentation when profiling is off       *)
+(* ---------------------------------------------------------------- *)
+
+(* The contract the instrumented hot paths rely on: a disabled
+   Prof.start/stop pair costs one atomic load plus an immediate-int
+   compare. Measured A/B against an empty staged closure (harness floor)
+   and against the enabled pair (two clock reads + histogram insert). *)
+let prof_overhead () =
+  let open Bechamel in
+  let open Toolkit in
+  let module Prof = Sfr_obs.Prof in
+  print_endline
+    "Prof instrumentation overhead (Bechamel, ns per start/stop pair x100):";
+  let t = Prof.timer "prof.bench.overhead.ns" in
+  let was_on = Prof.enabled () in
+  let sink = ref 0 in
+  let floor_test =
+    Test.make ~name:"empty loop (floor, x100)"
+      (Staged.stage (fun () ->
+           for i = 1 to 100 do
+             sink := !sink + i
+           done))
+  in
+  let disabled_test =
+    Test.make ~name:"disabled start/stop (x100)"
+      (Staged.stage (fun () ->
+           for i = 1 to 100 do
+             sink := !sink + i;
+             let t0 = Prof.start () in
+             Prof.stop t t0
+           done))
+  in
+  let enabled_test =
+    Test.make ~name:"enabled start/stop (x100)"
+      (Staged.stage (fun () ->
+           for i = 1 to 100 do
+             sink := !sink + i;
+             let t0 = Prof.start () in
+             Prof.stop t t0
+           done))
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let measure test =
+    let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"prof" [ test ]) in
+    let results = Analyze.all ols instance raw in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.printf "  %-32s %12.1f ns/run\n%!" name est
+        | Some _ | None -> Printf.printf "  %-32s (no estimate)\n%!" name)
+      results
+  in
+  Prof.disable ();
+  measure floor_test;
+  measure disabled_test;
+  Prof.enable ();
+  measure enabled_test;
+  if not was_on then Prof.disable ();
+  ignore !sink
 
 (* ---------------------------------------------------------------- *)
 (* event-log record / replay                                          *)
@@ -244,11 +340,12 @@ let soak ~seeds ~workers =
 let usage () =
   prerr_endline
     "usage: main.exe [fig3|fig4|fig5|sweep|ablation-locks|ablation-sets|\n\
-    \                 ablation-readers|ablation-history|profile|micro|eventlog|\n\
-    \                 soak|all]\n\
+    \                 ablation-readers|ablation-history|profile|prof-overhead|\n\
+    \                 micro|eventlog|soak|all]\n\
     \                [--scale tiny|small|default|large|paper] [--repeats N]\n\
     \                [--workers P] [--seeds N] [--trace-out FILE]\n\
-    \                [--profile-out FILE] [--no-metrics]";
+    \                [--profile-out FILE] [--no-metrics]\n\
+    \       main.exe perfdiff OLD.json NEW.json [--report-only]";
   exit 2
 
 let () =
@@ -257,6 +354,9 @@ let () =
   let workers = ref 20 in
   let seeds = ref 50 in
   let command = ref "all" in
+  let command_seen = ref false in
+  let positional = ref [] in
+  let report_only = ref false in
   let trace_out = ref None in
   let profile_out = ref "BENCH_profile.json" in
   let rec parse = function
@@ -290,8 +390,15 @@ let () =
     | "--profile-out" :: f :: rest ->
         profile_out := f;
         parse rest
+    | "--report-only" :: rest ->
+        report_only := true;
+        parse rest
     | cmd :: rest when cmd <> "" && cmd.[0] <> '-' ->
-        command := cmd;
+        if !command_seen then positional := !positional @ [ cmd ]
+        else begin
+          command := cmd;
+          command_seen := true
+        end;
         parse rest
     | _ -> usage ()
   in
@@ -314,6 +421,14 @@ let () =
         with Sys_error msg ->
           Printf.eprintf "cannot write profile: %s\n" msg;
           exit 2)
+    | "perfdiff" -> (
+        match !positional with
+        | [ old_path; new_path ] ->
+            perfdiff ~report_only:!report_only old_path new_path
+        | _ ->
+            prerr_endline "perfdiff needs exactly two files: OLD.json NEW.json";
+            usage ())
+    | "prof-overhead" -> prof_overhead ()
     | "micro" -> micro ()
     | "eventlog" -> eventlog ~scale ~repeats
     | "soak" -> soak ~seeds ~workers:(min workers 8)
@@ -324,7 +439,7 @@ let () =
             print_newline ())
           [ "fig3"; "fig4"; "fig5"; "motivation"; "complexity"; "sweep";
             "ablation-locks"; "ablation-sets"; "ablation-readers";
-            "ablation-history"; "eventlog"; "micro" ]
+            "ablation-history"; "eventlog"; "micro"; "prof-overhead" ]
     | _ -> usage ()
   in
   (match !trace_out with Some _ -> Sfr_obs.Trace_event.start () | None -> ());

@@ -5,7 +5,7 @@
      racedetect run --workload mm --detector sf-order [--scale small]
                     [--executor serial|parallel] [--workers N]
                     [--inject-race] [--no-verify] [--check-discipline]
-                    [--stats] [--trace-out FILE]
+                    [--stats] [--trace-out FILE] [--flight-dump FILE]
      racedetect synth --seed 42 [--ops 200] [--depth 5] [--locs 16]
                       [--detector sf-order] [--oracle] [--no-verify] [--stats]
      racedetect record --workload mm -o mm.sflog          (binary event log)
@@ -162,8 +162,19 @@ let run_cmd =
       & info [ "trace-out" ] ~docv:"FILE"
           ~doc:"Write a chrome://tracing JSON of the execution to $(docv).")
   in
+  let flight_dump =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-dump" ] ~docv:"FILE"
+          ~doc:
+            "After the run, dump the flight recorder's recent-event window \
+             as a chrome://tracing JSON to $(docv). The recorder is always \
+             on; this asks for the window of a healthy run (crashes dump it \
+             automatically).")
+  in
   let run workload make_det scale executor workers inject no_verify
-      check_discipline stats trace_out =
+      check_discipline stats trace_out flight_dump =
     match Registry.find workload with
     | None ->
         Printf.eprintf "unknown workload %S (try: racedetect list)\n" workload;
@@ -193,6 +204,9 @@ let run_cmd =
                 Events.Pair_state (d.Discipline.root, det.Detector.root) )
         in
         if trace_out <> None then Sfr_obs.Trace_event.start ();
+        (* latency histograms only fill while profiling is on; --stats is
+           the request to see them *)
+        if stats then Sfr_obs.Prof.enable ();
         let (), dt =
           Stats.time (fun () ->
               match executor with
@@ -211,6 +225,19 @@ let run_cmd =
                   "wrote chrome trace to %s (load in chrome://tracing)\n" f
             | exception Sys_error msg ->
                 Printf.eprintf "cannot write trace: %s\n" msg;
+                exit 2)
+        | None -> ());
+        (match flight_dump with
+        | Some f -> (
+            match Sfr_obs.Flight.write_chrome f with
+            | () ->
+                Printf.printf
+                  "wrote flight window (%d events) to %s (load in \
+                   chrome://tracing)\n"
+                  (List.length (Sfr_obs.Flight.entries ()))
+                  f
+            | exception Sys_error msg ->
+                Printf.eprintf "cannot write flight dump: %s\n" msg;
                 exit 2)
         | None -> ());
         let racy = print_detector_report ~stats det dt in
@@ -241,7 +268,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ workload $ detector $ scale $ executor $ workers $ inject
-      $ no_verify $ check_discipline $ stats $ trace_out)
+      $ no_verify $ check_discipline $ stats $ trace_out $ flight_dump)
 
 (* -- record / replay / analyze ----------------------------------------- *)
 
@@ -582,6 +609,7 @@ let synth_cmd =
     let n_ops, futures, gets = Synthetic.stats t in
     Printf.printf "synthetic program: %d ops, %d futures, %d gets\n" n_ops futures gets;
     let inst = Synthetic.instantiate t in
+    if stats then Sfr_obs.Prof.enable ();
     let det = make_det () in
     let (), dt =
       Stats.time (fun () ->

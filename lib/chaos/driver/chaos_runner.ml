@@ -145,6 +145,10 @@ let run_seed cfg ~make ~seed =
   | `Fault -> Fault_surfaced
   | (`Diff _ | `Crash _) as failure ->
       Metrics.incr m_mismatches;
+      (* the recorder still holds the scheduling window of the failing
+         run; dump it before shrinking re-executions overwrite it *)
+      Sfr_obs.Flight.crash_dump
+        ~reason:(Printf.sprintf "chaos differential mismatch (seed %d)" seed);
       let expected, got, crash =
         match failure with
         | `Diff (e, g) -> (e, Some g, None)

@@ -1,14 +1,19 @@
 module Metrics = Sfr_obs.Metrics
+module Prof = Sfr_obs.Prof
 module Chaos = Sfr_chaos.Chaos
 
 (* Observability: the paper's conclusion flags access-history
    synchronization as the dominant full-detection cost; these counters
-   let the ablations see lock contention and reader-set churn directly. *)
+   let the ablations see lock contention and reader-set churn directly.
+   The prof timers cover the whole read-insert / write-evict critical
+   path (lock wait, race checks, reader churn) per access. *)
 let m_lock_acquire = Metrics.counter "history.lock.acquire"
 let m_lock_contended = Metrics.counter "history.lock.contended"
 let m_cas_retry = Metrics.counter "history.cas.retry"
 let m_readers_insert = Metrics.counter "history.readers.insert"
 let m_readers_evict = Metrics.counter "history.readers.evict"
+let t_read = Prof.timer "prof.history.read.ns"
+let t_write = Prof.timer "prof.history.write.ns"
 
 type 'a policy =
   | Keep_all
@@ -278,14 +283,18 @@ let lf_write _t tbl ~loc ~accessor ~check =
 (* -- dispatch ------------------------------------------------------------ *)
 
 let on_read t ~loc ~accessor ~check_writer =
-  match t.repr with
+  let t0 = Prof.start () in
+  (match t.repr with
   | Striped (stripes, locking) -> striped_read t stripes locking ~loc ~accessor ~check_writer
-  | Lf tbl -> lf_read t tbl ~loc ~accessor ~check_writer
+  | Lf tbl -> lf_read t tbl ~loc ~accessor ~check_writer);
+  Prof.stop t_read t0
 
 let on_write t ~loc ~accessor ~check =
-  match t.repr with
+  let t0 = Prof.start () in
+  (match t.repr with
   | Striped (stripes, locking) -> striped_write t stripes locking ~loc ~accessor ~check
-  | Lf tbl -> lf_write t tbl ~loc ~accessor ~check
+  | Lf tbl -> lf_write t tbl ~loc ~accessor ~check);
+  Prof.stop t_write t0
 
 (* -- statistics ----------------------------------------------------------- *)
 

@@ -15,9 +15,13 @@ type t = {
 let no_metrics () = []
 
 (* The registry is process-global, so a per-instance view is a diff
-   against the registration state when the detector was made. *)
+   against the registration state when the detector was made. GC growth
+   is diffed the same way (gc.* entries); Gc.quick_stat minor figures
+   are per-domain on OCaml 5, so the attribution covers the domain that
+   made and ran the detector — exact for the harness's serial runs. *)
 let metrics_since_creation () =
   let base = Sfr_obs.Metrics.snapshot () in
-  fun () -> Sfr_obs.Metrics.since base
+  let gc_base = Sfr_obs.Prof.gc_snapshot () in
+  fun () -> Sfr_obs.Metrics.since base @ Sfr_obs.Prof.gc_delta gc_base
 
 let racy_locations t = Race.racy_locations t.races

@@ -2,12 +2,15 @@ module Events = Sfr_runtime.Events
 module Sp_order = Sfr_reach.Sp_order
 module Exit_map = Sfr_reach.Exit_map
 module Metrics = Sfr_obs.Metrics
+module Prof = Sfr_obs.Prof
 
 (* F-Order has no cp/gp split: a query is either within one future or a
    scan of the accessor future's recorded NSP exits. *)
 let m_q_same = Metrics.counter "reach.query.same_future"
 let m_q_nsp = Metrics.counter "reach.query.nsp"
 let m_q_nsp_exits = Metrics.counter "reach.query.nsp_exits_scanned"
+let t_q_same = Prof.timer "prof.reach.query.same_future.ns"
+let t_q_nsp = Prof.timer "prof.reach.query.nsp.ns"
 
 type strand = {
   pos : Sp_order.pos;
@@ -31,13 +34,17 @@ let make ?(history = `Mutex) () =
   let queries = Atomic.make 0 in
   let precedes (u : strand) (v : strand) =
     Atomic.incr queries;
+    let t0 = Prof.start () in
     if u == v then begin
       Metrics.incr m_q_same;
+      Prof.stop t_q_same t0;
       true
     end
     else if u.fid = v.fid then begin
       Metrics.incr m_q_same;
-      Sp_order.precedes spo u.pos v.pos
+      let r = Sp_order.precedes spo u.pos v.pos in
+      Prof.stop t_q_same t0;
+      r
     end
     else begin
       Metrics.incr m_q_nsp;
@@ -45,7 +52,11 @@ let make ?(history = `Mutex) () =
          future from which v is reachable *)
       let exits = Exit_map.exits v.nsp ~fid:u.fid in
       Metrics.add m_q_nsp_exits (List.length exits);
-      List.exists (fun w -> w == u.pos || Sp_order.precedes spo u.pos w) exits
+      let r =
+        List.exists (fun w -> w == u.pos || Sp_order.precedes spo u.pos w) exits
+      in
+      Prof.stop t_q_nsp t0;
+      r
     end
   in
   let history = Access_history.create ~sync:history Access_history.Keep_all in

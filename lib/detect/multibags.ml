@@ -3,12 +3,16 @@ module Sp_bags = Sfr_reach.Sp_bags
 module Fp_sets = Sfr_reach.Fp_sets
 module Vec = Sfr_support.Vec
 module Metrics = Sfr_obs.Metrics
+module Prof = Sfr_obs.Prof
 
 (* Same three-way split as SF-Order's Algorithm 1, with bags standing in
    for the order-maintenance comparison in the first two cases. *)
 let m_q_same = Metrics.counter "reach.query.same_future"
 let m_q_cp = Metrics.counter "reach.query.cp"
 let m_q_gp = Metrics.counter "reach.query.gp"
+let t_q_same = Prof.timer "prof.reach.query.same_future.ns"
+let t_q_cp = Prof.timer "prof.reach.query.cp.ns"
+let t_q_gp = Prof.timer "prof.reach.query.gp.ns"
 
 type strand = {
   frame : Sp_bags.frame;
@@ -31,23 +35,31 @@ let make () =
   let queries = ref 0 in
   let precedes (u : strand) (v : strand) =
     incr queries;
+    let t0 = Prof.start () in
     if u == v then begin
       Metrics.incr m_q_same;
+      Prof.stop t_q_same t0;
       true
     end
     else if u.fid = v.fid then begin
       Metrics.incr m_q_same;
       (* Cases 1-2: pseudo-SP-dag reachability relative to the current
          (depth-first) execution point, via the bags *)
-      Sp_bags.is_serial_with_current bags u.frame
+      let r = Sp_bags.is_serial_with_current bags u.frame in
+      Prof.stop t_q_same t0;
+      r
     end
     else if Fp_sets.mem (Vec.get cp v.fid) u.fid then begin
       Metrics.incr m_q_cp;
-      Sp_bags.is_serial_with_current bags u.frame
+      let r = Sp_bags.is_serial_with_current bags u.frame in
+      Prof.stop t_q_cp t0;
+      r
     end
     else begin
       Metrics.incr m_q_gp;
-      Fp_sets.mem v.gp u.fid (* Case 3 *)
+      let r = Fp_sets.mem v.gp u.fid (* Case 3 *) in
+      Prof.stop t_q_gp t0;
+      r
     end
   in
   let history = Access_history.create ~sync:`Unsynchronized Access_history.Keep_all in

@@ -18,6 +18,9 @@ let create () = { mu = Mutex.create (); by_loc = Hashtbl.create 64; total = Atom
 
 let report t ~loc ~kind ~prev_future ~cur_future =
   Atomic.incr t.total;
+  (* a race report is exactly the kind of event a post-mortem wants to
+     see in context with the surrounding scheduling activity *)
+  Sfr_obs.Flight.note ~arg:loc "race.report";
   Mutex.lock t.mu;
   (match Hashtbl.find_opt t.by_loc loc with
   | Some r -> Hashtbl.replace t.by_loc loc { r with count = r.count + 1 }

@@ -2,12 +2,18 @@ module Events = Sfr_runtime.Events
 module Sp_order = Sfr_reach.Sp_order
 module Fp_sets = Sfr_reach.Fp_sets
 module Metrics = Sfr_obs.Metrics
+module Prof = Sfr_obs.Prof
 
 (* Query-case breakdown of Algorithm 1 (Lemmas 3.4-3.9): the three
-   counters partition every Precedes call, so they sum to [queries ()]. *)
+   counters partition every Precedes call, so they sum to [queries ()].
+   The matching prof.*.ns timers attribute wall time to the same cases
+   (one atomic load per query while profiling is off). *)
 let m_q_same = Metrics.counter "reach.query.same_future"
 let m_q_cp = Metrics.counter "reach.query.cp"
 let m_q_gp = Metrics.counter "reach.query.gp"
+let t_q_same = Prof.timer "prof.reach.query.same_future.ns"
+let t_q_cp = Prof.timer "prof.reach.query.cp.ns"
+let t_q_gp = Prof.timer "prof.reach.query.gp.ns"
 
 (* Per-strand detector state — the paper's "node". The [gp] table is the
    strand's reference-counted future set; the [block] is its frame's
@@ -53,21 +59,29 @@ let make_with_precedes ?(readers = `All) ?(sets = `Bitmap) ?(history = `Mutex) (
      currently executing strand v. *)
   let precedes (u : strand) (v : strand) =
     count_query ();
+    let t0 = Prof.start () in
     if u == v then begin
       Metrics.incr m_q_same;
+      Prof.stop t_q_same t0;
       true
     end
     else if u.fid = v.fid then begin
       Metrics.incr m_q_same;
-      Sp_order.precedes spo u.pos v.pos
+      let r = Sp_order.precedes spo u.pos v.pos in
+      Prof.stop t_q_same t0;
+      r
     end
     else if Fp_sets.mem (Atomic.get cp).(v.fid) u.fid then begin
       Metrics.incr m_q_cp;
-      Sp_order.precedes spo u.pos v.pos
+      let r = Sp_order.precedes spo u.pos v.pos in
+      Prof.stop t_q_cp t0;
+      r
     end
     else begin
       Metrics.incr m_q_gp;
-      Fp_sets.mem v.gp u.fid
+      let r = Fp_sets.mem v.gp u.fid in
+      Prof.stop t_q_gp t0;
+      r
     end
   in
   let policy =

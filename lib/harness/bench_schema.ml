@@ -1,0 +1,411 @@
+module Json_min = Sfr_obs.Json_min
+module Stats = Sfr_support.Stats
+
+let version = 2
+
+type env = {
+  git_sha : string;
+  ocaml_version : string;
+  word_size : int;
+  domains : int;
+  scale : string;
+}
+
+type entry = {
+  workload : string;
+  detector : string;
+  repeats : int;
+  warmup : int;
+  median : float;
+  mad : float option;
+  mean : float;
+  stddev : float option;
+  samples : float list;
+  queries : int;
+  reach_words : int;
+  history_words : int;
+  max_readers : int;
+  racy_locations : int;
+  metrics : (string * int) list;
+}
+
+type t = { version : int; env : env; entries : entry list }
+
+(* -- environment capture ---------------------------------------------- *)
+
+let git_sha () =
+  (* best effort: bench results should carry provenance but must not
+     depend on running inside a work tree *)
+  try
+    let ic =
+      Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null"
+    in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let capture_env ~scale =
+  {
+    git_sha = git_sha ();
+    ocaml_version = Sys.ocaml_version;
+    word_size = Sys.word_size;
+    domains = Domain.recommended_domain_count ();
+    scale;
+  }
+
+let of_measurement ~workload ~detector ~repeats (m : Runner.measurement) =
+  let spread v = if repeats < 2 then None else Some v in
+  {
+    workload;
+    detector;
+    repeats;
+    warmup = m.Runner.warmup;
+    median = m.Runner.median;
+    mad = spread m.Runner.mad;
+    mean = m.Runner.seconds;
+    stddev = spread m.Runner.stddev;
+    samples = m.Runner.samples;
+    queries = m.Runner.queries;
+    reach_words = m.Runner.reach_words;
+    history_words = m.Runner.history_words;
+    max_readers = m.Runner.max_readers;
+    racy_locations = m.Runner.racy_locations;
+    metrics = m.Runner.metrics;
+  }
+
+(* -- emission ---------------------------------------------------------- *)
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let str s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  escape b s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let field b ?(last = false) name value =
+  Buffer.add_string b (str name);
+  Buffer.add_char b ':';
+  Buffer.add_string b value;
+  if not last then Buffer.add_char b ','
+
+let fnum v = Printf.sprintf "%.9f" v
+let opt_fnum = function None -> "null" | Some v -> fnum v
+
+let entry_to_buf b e =
+  Buffer.add_char b '{';
+  field b "workload" (str e.workload);
+  field b "detector" (str e.detector);
+  field b "repeats" (string_of_int e.repeats);
+  field b "warmup" (string_of_int e.warmup);
+  field b "median" (fnum e.median);
+  field b "mad" (opt_fnum e.mad);
+  field b "mean" (fnum e.mean);
+  field b "stddev" (opt_fnum e.stddev);
+  field b "samples"
+    ("[" ^ String.concat "," (List.map fnum e.samples) ^ "]");
+  field b "queries" (string_of_int e.queries);
+  field b "reach_words" (string_of_int e.reach_words);
+  field b "history_words" (string_of_int e.history_words);
+  field b "max_readers" (string_of_int e.max_readers);
+  field b "racy_locations" (string_of_int e.racy_locations);
+  Buffer.add_string b (str "metrics");
+  Buffer.add_string b ":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (str name);
+      Buffer.add_char b ':';
+      Buffer.add_string b (string_of_int v))
+    e.metrics;
+  Buffer.add_string b "}}"
+
+let to_json t =
+  let b = Buffer.create 8192 in
+  Buffer.add_char b '{';
+  field b "schema_version" (string_of_int t.version);
+  Buffer.add_string b (str "env");
+  Buffer.add_string b ":{";
+  field b "git_sha" (str t.env.git_sha);
+  field b "ocaml_version" (str t.env.ocaml_version);
+  field b "word_size" (string_of_int t.env.word_size);
+  field b "domains" (string_of_int t.env.domains);
+  field b ~last:true "scale" (str t.env.scale);
+  Buffer.add_string b "},";
+  Buffer.add_string b (str "entries");
+  Buffer.add_string b ":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      entry_to_buf b e)
+    t.entries;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let write path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_json t);
+      output_char oc '\n')
+
+(* -- parsing ----------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let mem name j ~where =
+  match Json_min.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing field %S" where name)
+
+let as_num ~where = function
+  | Json_min.Num v -> Ok v
+  | _ -> Error (where ^ ": expected a number")
+
+let as_str ~where = function
+  | Json_min.Str s -> Ok s
+  | _ -> Error (where ^ ": expected a string")
+
+let num name j ~where =
+  let* v = mem name j ~where in
+  as_num ~where:(where ^ "." ^ name) v
+
+let int_f name j ~where =
+  let* v = num name j ~where in
+  Ok (int_of_float v)
+
+let opt_num name j ~where =
+  match Json_min.member name j with
+  | None | Some Json_min.Null -> Ok None
+  | Some v ->
+      let* f = as_num ~where:(where ^ "." ^ name) v in
+      Ok (Some f)
+
+let string_f name j ~where =
+  let* v = mem name j ~where in
+  as_str ~where:(where ^ "." ^ name) v
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: xs ->
+      let* y = f x in
+      let* ys = map_result f xs in
+      Ok (y :: ys)
+
+let entry_of_json i j =
+  let where = Printf.sprintf "entries[%d]" i in
+  let* workload = string_f "workload" j ~where in
+  let* detector = string_f "detector" j ~where in
+  let* repeats = int_f "repeats" j ~where in
+  let* warmup = int_f "warmup" j ~where in
+  let* median = num "median" j ~where in
+  let* mad = opt_num "mad" j ~where in
+  let* mean = num "mean" j ~where in
+  let* stddev = opt_num "stddev" j ~where in
+  let* samples =
+    let* v = mem "samples" j ~where in
+    match v with
+    | Json_min.Arr xs -> map_result (as_num ~where:(where ^ ".samples")) xs
+    | _ -> Error (where ^ ".samples: expected an array")
+  in
+  let* queries = int_f "queries" j ~where in
+  let* reach_words = int_f "reach_words" j ~where in
+  let* history_words = int_f "history_words" j ~where in
+  let* max_readers = int_f "max_readers" j ~where in
+  let* racy_locations = int_f "racy_locations" j ~where in
+  let* metrics =
+    match Json_min.member "metrics" j with
+    | Some (Json_min.Obj kvs) ->
+        map_result
+          (fun (k, v) ->
+            let* f = as_num ~where:(where ^ ".metrics." ^ k) v in
+            Ok (k, int_of_float f))
+          kvs
+    | Some _ -> Error (where ^ ".metrics: expected an object")
+    | None -> Ok []
+  in
+  Ok
+    {
+      workload;
+      detector;
+      repeats;
+      warmup;
+      median;
+      mad;
+      mean;
+      stddev;
+      samples;
+      queries;
+      reach_words;
+      history_words;
+      max_readers;
+      racy_locations;
+      metrics;
+    }
+
+let of_json s =
+  let* j = Json_min.parse s in
+  let* v =
+    match Json_min.member "schema_version" j with
+    | Some (Json_min.Num v) -> Ok (int_of_float v)
+    | Some _ -> Error "schema_version: expected a number"
+    | None -> Error "not a bench schema file: no schema_version field"
+  in
+  if v <> version then
+    Error
+      (Printf.sprintf "schema version mismatch: file has v%d, tool expects v%d"
+         v version)
+  else
+    let* envj = mem "env" j ~where:"root" in
+    let* git_sha = string_f "git_sha" envj ~where:"env" in
+    let* ocaml_version = string_f "ocaml_version" envj ~where:"env" in
+    let* word_size = int_f "word_size" envj ~where:"env" in
+    let* domains = int_f "domains" envj ~where:"env" in
+    let* scale = string_f "scale" envj ~where:"env" in
+    let* entries =
+      match Json_min.member "entries" j with
+      | Some (Json_min.Arr xs) ->
+          map_result (fun (i, e) -> entry_of_json i e)
+            (List.mapi (fun i e -> (i, e)) xs)
+      | Some _ -> Error "entries: expected an array"
+      | None -> Error "missing field \"entries\""
+    in
+    Ok
+      {
+        version = v;
+        env = { git_sha; ocaml_version; word_size; domains; scale };
+        entries;
+      }
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> of_json s
+  | exception Sys_error msg -> Error msg
+
+(* -- regression comparison --------------------------------------------- *)
+
+type verdict = Improved | Unchanged | Regressed
+
+type delta = {
+  d_workload : string;
+  d_detector : string;
+  old_median : float;
+  new_median : float;
+  change_pct : float;
+  threshold : float;
+  verdict : verdict;
+}
+
+type diff = {
+  deltas : delta list;
+  added : (string * string) list;
+  removed : (string * string) list;
+  old_env : env;
+  new_env : env;
+}
+
+(* The bar a change must clear to count: at least 10% of the old median,
+   and at least 3 MADs of whichever run was noisier. With < 2 repeats the
+   MAD is unknown (None) and only the 10% floor applies — so single-shot
+   comparisons still work, just with less noise immunity. *)
+let noise_threshold ~old_median ~old_mad ~new_mad =
+  let mad = Float.max (Option.value old_mad ~default:0.0)
+      (Option.value new_mad ~default:0.0)
+  in
+  Float.max (0.10 *. old_median) (3.0 *. mad)
+
+let compare_entries (o : entry) (n : entry) =
+  let threshold =
+    noise_threshold ~old_median:o.median ~old_mad:o.mad ~new_mad:n.mad
+  in
+  let d = n.median -. o.median in
+  let verdict =
+    if d > threshold then Regressed
+    else if -.d > threshold then Improved
+    else Unchanged
+  in
+  {
+    d_workload = o.workload;
+    d_detector = o.detector;
+    old_median = o.median;
+    new_median = n.median;
+    change_pct =
+      (if o.median > 0.0 then 100.0 *. d /. o.median else 0.0);
+    threshold;
+    verdict;
+  }
+
+let diff ~old_ ~new_ =
+  if old_.version <> version || new_.version <> version then
+    Error
+      (Printf.sprintf "cannot compare schema v%d against v%d (tool expects v%d)"
+         old_.version new_.version version)
+  else begin
+    let key (e : entry) = (e.workload, e.detector) in
+    let find t k = List.find_opt (fun e -> key e = k) t.entries in
+    let deltas =
+      List.filter_map
+        (fun o ->
+          Option.map (fun n -> compare_entries o n) (find new_ (key o)))
+        old_.entries
+    in
+    let added =
+      List.filter_map
+        (fun n -> if find old_ (key n) = None then Some (key n) else None)
+        new_.entries
+    in
+    let removed =
+      List.filter_map
+        (fun o -> if find new_ (key o) = None then Some (key o) else None)
+        old_.entries
+    in
+    Ok { deltas; added; removed; old_env = old_.env; new_env = new_.env }
+  end
+
+let has_regression d =
+  List.exists (fun x -> x.verdict = Regressed) d.deltas
+
+let pp_verdict ppf = function
+  | Improved -> Format.pp_print_string ppf "improved"
+  | Unchanged -> Format.pp_print_string ppf "ok"
+  | Regressed -> Format.pp_print_string ppf "REGRESSED"
+
+let pp_diff ppf d =
+  let pp_env ppf (e : env) =
+    Format.fprintf ppf "%s ocaml-%s %d-bit %d-domains scale=%s" e.git_sha
+      e.ocaml_version e.word_size e.domains e.scale
+  in
+  Format.fprintf ppf "old: %a@.new: %a@." pp_env d.old_env pp_env d.new_env;
+  List.iter
+    (fun x ->
+      Format.fprintf ppf "%-14s %-14s %10.6fs -> %10.6fs  %+6.1f%%  (gate %.6fs)  %a@."
+        x.d_workload x.d_detector x.old_median x.new_median x.change_pct
+        x.threshold pp_verdict x.verdict)
+    d.deltas;
+  List.iter
+    (fun (w, det) -> Format.fprintf ppf "added:   %s/%s (no baseline)@." w det)
+    d.added;
+  List.iter
+    (fun (w, det) -> Format.fprintf ppf "removed: %s/%s (baseline only)@." w det)
+    d.removed;
+  let count v = List.length (List.filter (fun x -> x.verdict = v) d.deltas) in
+  Format.fprintf ppf "%d compared: %d regressed, %d improved, %d unchanged@."
+    (List.length d.deltas) (count Regressed) (count Improved) (count Unchanged)

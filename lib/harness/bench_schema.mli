@@ -1,0 +1,89 @@
+(** Versioned bench result schema (v2) and the perfdiff comparison.
+
+    A result file records enough environment to make cross-run comparisons
+    honest (git sha, compiler, word size, domain count, workload scale),
+    and robust per-configuration statistics: the median and the median
+    absolute deviation over the measured repeats, with warmup iterations
+    excluded. perfdiff declares a regression only when the median worsens
+    by more than [max (10% of old median) (3 × the larger MAD)] — the 10%
+    floor filters jitter on fast configs, the MAD term scales the gate to
+    the observed noise of either run.
+
+    Files with a different [schema_version] are rejected with [Error]
+    (the CLI maps this to exit code 2, the usage-error convention). *)
+
+val version : int
+(** The schema version this build emits and accepts: 2. *)
+
+type env = {
+  git_sha : string;  (** ["unknown"] outside a git work tree *)
+  ocaml_version : string;
+  word_size : int;
+  domains : int;  (** [Domain.recommended_domain_count] at capture time *)
+  scale : string;
+}
+
+type entry = {
+  workload : string;
+  detector : string;
+  repeats : int;
+  warmup : int;
+  median : float;
+  mad : float option;  (** [None] (JSON [null]) when repeats < 2 *)
+  mean : float;
+  stddev : float option;  (** [None] (JSON [null]) when repeats < 2 *)
+  samples : float list;
+  queries : int;
+  reach_words : int;
+  history_words : int;
+  max_readers : int;
+  racy_locations : int;
+  metrics : (string * int) list;
+}
+
+type t = { version : int; env : env; entries : entry list }
+
+val capture_env : scale:string -> env
+
+val of_measurement :
+  workload:string -> detector:string -> repeats:int -> Runner.measurement -> entry
+(** Spread statistics are [None] when [repeats < 2] — a single sample has
+    no spread, and emitting [0.0] would make perfdiff treat it as a
+    perfectly noise-free baseline. *)
+
+val to_json : t -> string
+val write : string -> t -> unit
+
+val of_json : string -> (t, string) result
+val load : string -> (t, string) result
+
+(** {1 perfdiff} *)
+
+type verdict = Improved | Unchanged | Regressed
+
+type delta = {
+  d_workload : string;
+  d_detector : string;
+  old_median : float;
+  new_median : float;
+  change_pct : float;
+  threshold : float;  (** the gate the change had to clear, in seconds *)
+  verdict : verdict;
+}
+
+type diff = {
+  deltas : delta list;  (** configs present in both files *)
+  added : (string * string) list;  (** in new only *)
+  removed : (string * string) list;  (** in old only *)
+  old_env : env;
+  new_env : env;
+}
+
+val noise_threshold :
+  old_median:float -> old_mad:float option -> new_mad:float option -> float
+
+val diff : old_:t -> new_:t -> (diff, string) result
+(** [Error] iff either file's schema version differs from {!version}. *)
+
+val has_regression : diff -> bool
+val pp_diff : Format.formatter -> diff -> unit

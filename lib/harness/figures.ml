@@ -425,94 +425,60 @@ let profile_cols =
     ("sf-order-2pf", fun () -> Sf_order.make ~readers:`Two_per_future ());
   ]
 
-let json_escape b s =
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s
-
-let json_field b ?(last = false) name value =
-  Buffer.add_string b "\"";
-  json_escape b name;
-  Buffer.add_string b "\":";
-  Buffer.add_string b value;
-  if not last then Buffer.add_char b ','
-
-let json_str s =
-  let b = Buffer.create (String.length s + 2) in
-  Buffer.add_char b '"';
-  json_escape b s;
-  Buffer.add_char b '"';
-  Buffer.contents b
-
 let profile ~scale ~repeats ~out =
   Format.printf
     "Profile: per-configuration metric snapshots (full detection) -> %s@." out;
-  let b = Buffer.create 4096 in
-  Buffer.add_string b "{";
-  json_field b "scale" (json_str (Format.asprintf "%a" Workload.pp_scale scale));
-  json_field b "repeats" (string_of_int repeats);
-  Buffer.add_string b "\"configs\":[";
-  let first = ref true in
+  (* latency histograms (prof.*.ns) only fill while profiling is on; the
+     flag costs the instrumented hot paths one atomic load otherwise *)
+  let prof_was_on = Sfr_obs.Prof.enabled () in
+  Sfr_obs.Prof.enable ();
   let t =
     Tablefmt.create ~title:""
       [
         ("bench", Tablefmt.Left);
         ("detector", Tablefmt.Left);
-        ("T1", Tablefmt.Right);
+        ("T1 median", Tablefmt.Right);
+        ("MAD", Tablefmt.Right);
         ("queries", Tablefmt.Right);
         ("metrics", Tablefmt.Right);
       ]
   in
+  let entries = ref [] in
   List.iter
     (fun (w : Workload.t) ->
       let mk = instance_maker w scale in
       List.iter
         (fun (label, make) ->
           let m = Runner.time_serial ~repeats mk (Runner.Full make) in
-          if !first then first := false else Buffer.add_char b ',';
-          Buffer.add_string b "{";
-          json_field b "workload" (json_str w.Workload.name);
-          json_field b "detector" (json_str label);
-          json_field b "seconds" (Printf.sprintf "%.6f" m.Runner.seconds);
-          json_field b "stddev" (Printf.sprintf "%.6f" m.Runner.stddev);
-          json_field b "queries" (string_of_int m.Runner.queries);
-          json_field b "reach_words" (string_of_int m.Runner.reach_words);
-          json_field b "history_words" (string_of_int m.Runner.history_words);
-          json_field b "max_readers" (string_of_int m.Runner.max_readers);
-          json_field b "racy_locations" (string_of_int m.Runner.racy_locations);
-          Buffer.add_string b "\"metrics\":{";
-          List.iteri
-            (fun i (name, v) ->
-              if i > 0 then Buffer.add_char b ',';
-              Buffer.add_string b (json_str name);
-              Buffer.add_char b ':';
-              Buffer.add_string b (string_of_int v))
-            m.Runner.metrics;
-          Buffer.add_string b "}}";
+          entries :=
+            Bench_schema.of_measurement ~workload:w.Workload.name
+              ~detector:label ~repeats m
+            :: !entries;
           Tablefmt.add_row t
             [
               w.Workload.name;
               label;
-              Printf.sprintf "%.3f" m.Runner.seconds;
+              Printf.sprintf "%.3f" m.Runner.median;
+              (if repeats < 2 then "-" else Printf.sprintf "%.4f" m.Runner.mad);
               Tablefmt.cell_int_compact m.Runner.queries;
               string_of_int (List.length m.Runner.metrics);
             ])
         profile_cols;
       Tablefmt.add_separator t)
     Registry.all;
-  Buffer.add_string b "]}";
-  let oc = open_out out in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (Buffer.contents b));
+  if not prof_was_on then Sfr_obs.Prof.disable ();
+  let result =
+    {
+      Bench_schema.version = Bench_schema.version;
+      env =
+        Bench_schema.capture_env
+          ~scale:(Format.asprintf "%a" Workload.pp_scale scale);
+      entries = List.rev !entries;
+    }
+  in
+  Bench_schema.write out result;
   Tablefmt.print t;
-  Format.printf "wrote %s@." out
+  Format.printf "wrote %s (schema v%d)@." out Bench_schema.version
 
 let complexity () =
   Format.printf

@@ -44,7 +44,10 @@ val ablation_readers : scale:Sfr_workloads.Workload.scale -> repeats:int -> unit
 val profile :
   scale:Sfr_workloads.Workload.scale -> repeats:int -> out:string -> unit
 (** Run full detection for every workload × detector configuration and
-    dump each run's {!Sfr_obs.Metrics} snapshot (plus timing and the
-    classic introspection fields) as JSON to [out] — the cross-PR
-    trajectory artifact behind [bench profile]. Also prints a summary
-    table. *)
+    write a {!Bench_schema} v2 result file to [out]: environment block,
+    median/MAD over the measured repeats (one warmup excluded), and each
+    run's {!Sfr_obs.Metrics} snapshot — including the [prof.*.ns] latency
+    histograms, since profiling is enabled for the duration, and [gc.*]
+    allocation deltas. The cross-PR trajectory artifact behind
+    [bench profile] and the input format of [bench perfdiff]. Also prints
+    a summary table. *)

@@ -14,6 +14,10 @@ type mode =
 type measurement = {
   seconds : float;
   stddev : float;
+  median : float;
+  mad : float;
+  samples : float list;
+  warmup : int;
   queries : int;
   reach_words : int;
   reach_table_words : int;
@@ -31,8 +35,9 @@ let reach_only (cb : Events.callbacks) =
     on_work = (fun _ _ -> ());
   }
 
-let time_serial ~repeats make_instance mode =
+let time_serial ?(warmup = 1) ~repeats make_instance mode =
   if repeats < 1 then invalid_arg "Runner.time_serial: repeats must be >= 1";
+  if warmup < 0 then invalid_arg "Runner.time_serial: warmup must be >= 0";
   let last_detector = ref None in
   let one () =
     let inst = make_instance () in
@@ -65,6 +70,11 @@ let time_serial ~repeats make_instance mode =
         in
         dt
   in
+  (* warmup repeats pay the code/cache/allocator cold costs so the
+     measured samples reflect steady state; their times are discarded *)
+  for _ = 1 to warmup do
+    ignore (one ())
+  done;
   let times = List.init repeats (fun _ -> one ()) in
   let queries, reach_words, reach_table_words, history_words, max_readers, racy,
       metrics =
@@ -82,6 +92,10 @@ let time_serial ~repeats make_instance mode =
   {
     seconds = Stats.mean times;
     stddev = Stats.stddev times;
+    median = Stats.median times;
+    mad = Stats.mad times;
+    samples = times;
+    warmup;
     queries;
     reach_words;
     reach_table_words;

@@ -16,8 +16,12 @@ type mode =
   | Full of (unit -> Sfr_detect.Detector.t)
 
 type measurement = {
-  seconds : float;  (** mean over repeats *)
-  stddev : float;
+  seconds : float;  (** mean over measured repeats *)
+  stddev : float;  (** sample stddev; [0.0] when repeats < 2 *)
+  median : float;  (** robust center — what perfdiff compares *)
+  mad : float;  (** median absolute deviation; [0.0] when repeats < 2 *)
+  samples : float list;  (** the measured times, in run order *)
+  warmup : int;  (** discarded repeats that preceded [samples] *)
   queries : int;
   reach_words : int;
   reach_table_words : int;
@@ -26,14 +30,20 @@ type measurement = {
   racy_locations : int;
   metrics : (string * int) list;
       (** the last repeat's {!Sfr_detect.Detector}[.metrics] snapshot —
-          named counters attributed to that detector instance. *)
+          named counters (including [gc.*] deltas) attributed to that
+          detector instance. *)
 }
 
 val time_serial :
-  repeats:int -> (unit -> Sfr_workloads.Workload.instance) -> mode -> measurement
+  ?warmup:int ->
+  repeats:int ->
+  (unit -> Sfr_workloads.Workload.instance) ->
+  mode ->
+  measurement
 (** Each repeat instantiates a fresh workload instance and (for detector
     modes) a fresh detector; introspection fields come from the last
-    repeat. *)
+    repeat. [warmup] (default 1) extra repeats run first and are excluded
+    from every statistic. *)
 
 type recorded = {
   dag : Sfr_dag.Dag.t;

@@ -89,9 +89,13 @@ let histogram name =
 let bucket_index v =
   if v <= 1 then 0
   else begin
-    (* smallest i with v <= 2^i *)
+    (* smallest i with v <= 2^i; the bound must not be doubled past
+       2^61 — 2^62 wraps to min_int on 63-bit ints — and any v beyond
+       2^61 fits the next bucket anyway (max_int = 2^62 - 1) *)
     let rec go i bound =
-      if i >= nbuckets - 1 || bound >= v then i else go (i + 1) (bound * 2)
+      if i >= nbuckets - 1 || bound >= v then i
+      else if bound > max_int / 2 then i + 1
+      else go (i + 1) (bound * 2)
     in
     go 0 1
   end
@@ -159,7 +163,7 @@ let since base =
           (name, max 0 (v - b)))
     (snapshot_entries ())
 
-let reset () =
+let reset_all () =
   Mutex.lock registry_mu;
   Hashtbl.iter
     (fun _ m ->

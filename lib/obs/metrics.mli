@@ -71,8 +71,13 @@ val since : (string * int) list -> (string * int) list
     entrywise (clamped at 0). [`Max] counters are not subtracted — their
     current high-water value is reported as is. *)
 
-val reset : unit -> unit
-(** Zero every slot of every registered metric. Names stay registered. *)
+val reset_all : unit -> unit
+(** Zero every slot of every registered metric (names stay registered).
+    A test-only escape hatch: the registry is process-global, so
+    Alcotest cases that assert on absolute counter values must reset
+    between cases or leak counts into each other. Not for production
+    paths — it is not atomic with respect to concurrent increments
+    (a racing [add] on another domain can survive or vanish). *)
 
 val disable : unit -> unit
 (** Turn every recording primitive into a near-free no-op (snapshots

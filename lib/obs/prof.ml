@@ -1,0 +1,59 @@
+external now_ns : unit -> int = "sfr_prof_now_ns" [@@noalloc]
+
+let on = Atomic.make false
+
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+let enabled () = Atomic.get on
+
+type timer = Metrics.histogram
+
+let timer name = Metrics.histogram name
+
+(* 0 doubles as the "profiling was off at start" sentinel: CLOCK_MONOTONIC
+   is strictly positive on a running system, and even a racing disable
+   between start and stop only records one stray sample. *)
+let start () = if Atomic.get on then now_ns () else 0
+
+let stop t t0 = if t0 <> 0 then Metrics.observe t (now_ns () - t0)
+
+let with_timer t f =
+  let t0 = start () in
+  Fun.protect ~finally:(fun () -> stop t t0) f
+
+(* -- GC attribution ----------------------------------------------------- *)
+
+type gc_snapshot = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+}
+
+let gc_snapshot () =
+  let s = Gc.quick_stat () in
+  {
+    (* Gc.minor_words reads the domain's allocation pointer directly;
+       quick_stat's own field only advances at collection points, so a
+       delta over an allocation-light region would read 0 *)
+    minor_words = Gc.minor_words ();
+    promoted_words = s.Gc.promoted_words;
+    major_words = s.Gc.major_words;
+    minor_collections = s.Gc.minor_collections;
+    major_collections = s.Gc.major_collections;
+    compactions = s.Gc.compactions;
+  }
+
+let gc_delta base =
+  let now = gc_snapshot () in
+  let words f = max 0 (int_of_float f) in
+  [
+    ("gc.minor_words", words (now.minor_words -. base.minor_words));
+    ("gc.promoted_words", words (now.promoted_words -. base.promoted_words));
+    ("gc.major_words", words (now.major_words -. base.major_words));
+    ("gc.minor_collections", max 0 (now.minor_collections - base.minor_collections));
+    ("gc.major_collections", max 0 (now.major_collections - base.major_collections));
+    ("gc.compactions", max 0 (now.compactions - base.compactions));
+  ]

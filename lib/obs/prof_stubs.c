@@ -1,0 +1,34 @@
+/* Monotonic nanosecond clock for Sfr_obs.Prof.
+
+   clock_gettime(CLOCK_MONOTONIC) folded into one tagged OCaml int:
+   63 bits of nanoseconds overflow after ~146 years of uptime, so the
+   subtraction (stop - start) the profiler performs never wraps. The
+   primitive is [@@noalloc]: no callbacks, no OCaml allocation, safe to
+   call from the detectors' query path. */
+
+#include <caml/mlvalues.h>
+
+#ifdef _WIN32
+#include <windows.h>
+
+CAMLprim value sfr_prof_now_ns(value unit)
+{
+  static LARGE_INTEGER freq;
+  LARGE_INTEGER now;
+  if (freq.QuadPart == 0)
+    QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&now);
+  return Val_long((long)((double)now.QuadPart * 1e9 / (double)freq.QuadPart));
+}
+
+#else
+#include <time.h>
+
+CAMLprim value sfr_prof_now_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((long)ts.tv_sec * 1000000000L + (long)ts.tv_nsec);
+}
+
+#endif

@@ -49,11 +49,17 @@ type t = {
 (* Observability: relabel storms are the OM cost the paper's analysis
    amortizes away; the counters let the ablations see them. *)
 module Metrics = Sfr_obs.Metrics
+module Prof = Sfr_obs.Prof
 module Chaos = Sfr_chaos.Chaos
 
 let m_relabels = Metrics.counter "om.relabels"
 let m_splits = Metrics.counter "om.splits"
 let m_relabel_span = Metrics.counter ~kind:`Max "om.relabel.max_span"
+
+(* The relabel window is also the interval concurrent seqlock readers
+   must retry through, so its latency distribution bounds query-side
+   interference, not just insertion cost. *)
+let t_relabel = Prof.timer "prof.om.relabel.ns"
 
 let group_bits = 60
 let group_label_limit = 1 lsl group_bits
@@ -87,9 +93,12 @@ let create () =
    [compare_items] seqlock readers must detect and retry through. *)
 let begin_relabel t =
   Atomic.incr t.version;
-  Chaos.point Chaos.Relabel
+  Chaos.point Chaos.Relabel;
+  Prof.start ()
 
-let end_relabel t = Atomic.incr t.version
+let end_relabel t t0 =
+  Atomic.incr t.version;
+  Prof.stop t_relabel t0
 
 (* -- group-level relabeling ------------------------------------------ *)
 
@@ -99,14 +108,14 @@ let end_relabel t = Atomic.incr t.version
 let relabel_all_groups t =
   Metrics.incr m_relabels;
   Metrics.add m_relabel_span t.ngroups;
-  begin_relabel t;
+  let t0 = begin_relabel t in
   let gap = max 1 (group_label_limit / (t.ngroups + 1)) in
   let rec loop g label =
     g.glabel <- label;
     if g.gnext != t.base_group then loop g.gnext (label + gap)
   in
   loop t.base_group 0;
-  end_relabel t
+  end_relabel t t0
 
 (* Bender-style: find the smallest enclosing dyadic label range around
    [g.glabel] whose population is under the density threshold, then spread
@@ -145,14 +154,14 @@ let rebalance_groups_around t g =
       if float_of_int !count < !threshold && 2 * (!count + 1) <= size then begin
         Metrics.incr m_relabels;
         Metrics.add m_relabel_span !count;
-        begin_relabel t;
+        let t0 = begin_relabel t in
         let gap = size / (!count + 1) in
         let c = ref !leftmost in
         for j = 1 to !count do
           (!c).glabel <- lo + (j * gap);
           c := (!c).gnext
         done;
-        end_relabel t
+        end_relabel t t0
       end
       else try_level (i + 1)
     end
@@ -192,14 +201,14 @@ let rec insert_group_after t g =
 (* Spread the labels of [g]'s items evenly across the item label space. *)
 let relabel_group t (g : group) =
   Metrics.incr m_relabels;
-  begin_relabel t;
+  let t0 = begin_relabel t in
   let gap = max 1 (item_label_limit / (g.count + 1)) in
   let rec loop (x : item) j =
     x.label <- j * gap;
     if x.next.grp == g && x.next != g.first then loop x.next (j + 1)
   in
   loop g.first 1;
-  end_relabel t
+  end_relabel t t0
 
 (* Move the second half of [g] into a fresh group placed right after it. *)
 let split_group t (g : group) =
@@ -209,7 +218,7 @@ let split_group t (g : group) =
   (* find the first item of the second half *)
   let rec advance (x : item) n = if n = 0 then x else advance x.next (n - 1) in
   let mover = advance g.first half in
-  begin_relabel t;
+  let t0 = begin_relabel t in
   ng.first <- mover;
   let rec claim (x : item) n =
     if n > 0 then begin
@@ -220,7 +229,7 @@ let split_group t (g : group) =
   claim mover (g.count - half);
   ng.count <- g.count - half;
   g.count <- half;
-  end_relabel t;
+  end_relabel t t0;
   relabel_group t g;
   relabel_group t ng
 

@@ -2,6 +2,7 @@ type task = unit -> unit
 
 module Metrics = Sfr_obs.Metrics
 module Trace_event = Sfr_obs.Trace_event
+module Flight = Sfr_obs.Flight
 module Chaos = Sfr_chaos.Chaos
 
 let m_spawns = Metrics.counter "runtime.spawns"
@@ -190,6 +191,7 @@ let rec exec_frame sched (body : frame -> unit) =
                   Chaos.point Chaos.Create;
                   Metrics.incr m_creates;
                   Trace_event.instant ~cat:"runtime" "create";
+                  Flight.note "create";
                   let h = Program.Handle.make () in
                   let child_state, cont_state = sched.cb.Events.on_create (get_cur ()) in
                   Mutex.lock frame.fmu;
@@ -233,6 +235,7 @@ let rec exec_frame sched (body : frame -> unit) =
                   Chaos.point Chaos.Get;
                   Metrics.incr m_gets;
                   Trace_event.instant ~cat:"runtime" "get";
+                  Flight.note "get";
                   Program.Handle.claim_touch h;
                   let saved = get_cur () in
                   let resume () =
@@ -273,6 +276,7 @@ let find_task sched me =
         | Some t ->
             Metrics.incr m_steals;
             Trace_event.instant ~cat:"runtime" "steal";
+            Flight.note ~arg:victim "steal";
             Chaos.point Chaos.Steal;
             Some t
         | None -> try_steal (i + 1)
@@ -307,7 +311,8 @@ let worker_loop sched me =
           Metrics.incr m_tasks;
           (try
              Chaos.point Chaos.Task;
-             Trace_event.with_span ~cat:"runtime" "task" t
+             Flight.wrap "task" (fun () ->
+                 Trace_event.with_span ~cat:"runtime" "task" t)
            with e -> record_failure sched e);
           if Atomic.fetch_and_add sched.live (-1) = 1 then
             Atomic.set sched.quiescent true
@@ -366,6 +371,11 @@ let run ?workers cb ~root main =
           in
           drain ())
         sched.deques;
+      (* injected chaos faults are expected synthetic failures and would
+         bury the flight window of a real crash behind them *)
+      (match e with
+      | Sfr_chaos.Chaos.Injected _ -> ()
+      | _ -> Flight.crash_dump ~reason:"uncaught executor exception");
       Printexc.raise_with_backtrace e bt
   | None -> ());
   match !result with

@@ -21,6 +21,15 @@ let median xs =
       let n = Array.length a in
       if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
 
+(* Median absolute deviation: the robust spread companion to [median].
+   Not scaled to estimate sigma (no 1.4826 factor) — perfdiff thresholds
+   compare MADs to MADs, so the raw statistic is what we want. *)
+let mad = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+      let m = median xs in
+      median (List.map (fun x -> Float.abs (x -. m)) xs)
+
 let min_max = function
   | [] -> (nan, nan)
   | x :: xs ->

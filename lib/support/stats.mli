@@ -3,6 +3,12 @@
 val mean : float list -> float
 val stddev : float list -> float
 val median : float list -> float
+
+val mad : float list -> float
+(** Median absolute deviation from the median — the robust spread used by
+    the bench schema. Unscaled (no consistency factor); [0.0] for fewer
+    than two samples. *)
+
 val min_max : float list -> float * float
 
 val time : (unit -> 'a) -> 'a * float

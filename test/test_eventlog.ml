@@ -368,6 +368,34 @@ let test_close_idempotent () =
       let b = Recorder.close rec_ in
       check Alcotest.bool "same stats" true (a = b))
 
+(* The recorder/replay counters are process-global and accumulate across
+   every test above; [Metrics.reset_all] is the test-only escape hatch
+   that lets this accounting check start from zero. *)
+let test_metrics_accounting () =
+  let module Metrics = Sfr_obs.Metrics in
+  Metrics.enable ();
+  Metrics.reset_all ();
+  let t = Synthetic.generate ~seed:11 ~ops:100 ~depth:4 ~locs:6 () in
+  let i = Synthetic.instantiate t in
+  let log, stats, _ =
+    record (fun cb root -> serial (fun () -> i.Synthetic.program ()) cb root)
+  in
+  let get name =
+    Option.value ~default:0 (List.assoc_opt name (Metrics.snapshot ()))
+  in
+  check Alcotest.int "eventlog.events matches recorder stats"
+    stats.Recorder.events (get "eventlog.events");
+  check Alcotest.bool "bytes_written is positive" true
+    (get "eventlog.bytes_written" > 0);
+  let det = Sf_order.make () in
+  (match Replay.run_detector log det with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "replay failed: %s" (Replay.error_to_string e));
+  check Alcotest.int "replay consumed every recorded event"
+    stats.Recorder.events
+    (get "eventlog.replay.events");
+  Metrics.reset_all ()
+
 let test_trace_accesses_sorted () =
   let w = Option.get (Registry.find "mm") in
   let i = w.Workload.instantiate ~inject_race:false Workload.Tiny in
@@ -407,6 +435,7 @@ let () =
       ( "recorder",
         [
           Alcotest.test_case "close is idempotent" `Quick test_close_idempotent;
+          Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
           Alcotest.test_case "trace accesses sorted" `Quick
             test_trace_accesses_sorted;
         ] );

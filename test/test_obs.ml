@@ -53,6 +53,21 @@ let test_counter_disable () =
   Metrics.enable ();
   check Alcotest.int "no increments while disabled" before (Metrics.value c)
 
+let test_reset_all () =
+  Metrics.enable ();
+  let c = Metrics.counter "test.obs.reset_me" in
+  let h = Metrics.histogram "test.obs.reset_hist" in
+  Metrics.add c 7;
+  Metrics.observe h 100;
+  check Alcotest.bool "counter accumulated" true (Metrics.value c > 0);
+  Metrics.reset_all ();
+  check Alcotest.int "counter zeroed" 0 (Metrics.value c);
+  check Alcotest.(list (pair int int)) "histogram zeroed" [] (Metrics.buckets h);
+  (* registration survives the reset; only the values are dropped *)
+  Metrics.incr c;
+  check Alcotest.int "counter usable after reset" 1 (Metrics.value c);
+  Metrics.reset_all ()
+
 (* -- histograms ------------------------------------------------------- *)
 
 let test_histogram_bucket_boundaries () =
@@ -64,7 +79,19 @@ let test_histogram_bucket_boundaries () =
     [
       (0, 0); (1, 0); (2, 1); (3, 2); (4, 2); (5, 3); (8, 3); (9, 4);
       (1024, 10); (1025, 11);
-    ]
+    ];
+  (* exact powers land in bucket i, the next value spills into i+1 —
+     checked across the whole range so no power hits an off-by-one *)
+  for i = 1 to 61 do
+    check Alcotest.int (Printf.sprintf "bucket_index 2^%d" i) i
+      (Metrics.bucket_index (1 lsl i));
+    check Alcotest.int (Printf.sprintf "bucket_index 2^%d+1" i) (i + 1)
+      (Metrics.bucket_index ((1 lsl i) + 1))
+  done;
+  (* the top of the int range must stay inside the buckets without the
+     doubling bound overflowing: max_int = 2^62 - 1 <= 2^62 -> bucket 62
+     (2^62 itself is not representable; 1 lsl 62 wraps to min_int) *)
+  check Alcotest.int "bucket_index max_int" 62 (Metrics.bucket_index max_int)
 
 let test_histogram_buckets () =
   Metrics.enable ();
@@ -130,6 +157,76 @@ let test_trace_off_by_default () =
   check Alcotest.int "nothing buffered while off" 0
     (List.length (Trace_event.events ()))
 
+(* -- Json_min escaping and nesting ------------------------------------ *)
+
+let test_json_escape_decoding () =
+  List.iter
+    (fun (js, want) ->
+      match Json_min.parse js with
+      | Ok (Json_min.Str s) ->
+          check Alcotest.string ("parse " ^ String.escaped js) want s
+      | Ok _ -> Alcotest.failf "%s: parsed to a non-string" (String.escaped js)
+      | Error e -> Alcotest.failf "%s: %s" (String.escaped js) e)
+    [
+      ({|"a\"b"|}, "a\"b");
+      ({|"a\\b"|}, "a\\b");
+      ({|"a\/b"|}, "a/b");
+      ({|"\n\t\r\b\f"|}, "\n\t\r\b\012");
+      ("\"\\u0000\\u0001\\u001f\"", "\x00\x01\x1f");
+      ("\"caf\\u00e9\"", "caf\xe9");
+      (* raw non-ASCII bytes pass through untouched *)
+      ("\"caf\xc3\xa9\"", "caf\xc3\xa9");
+    ]
+
+(* Round trip through the emitters' shared escaping discipline: encode
+   the way Trace_event/Bench_schema do, decode with Json_min. *)
+let emit_escaped s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let test_json_escape_round_trip () =
+  List.iter
+    (fun s ->
+      match Json_min.parse (emit_escaped s) with
+      | Ok (Json_min.Str s') ->
+          check Alcotest.string ("round trip " ^ String.escaped s) s s'
+      | Ok _ -> Alcotest.failf "%s: parsed to a non-string" (String.escaped s)
+      | Error e -> Alcotest.failf "%s: %s" (String.escaped s) e)
+    [
+      "";
+      "plain";
+      "with \"quotes\" and \\backslashes\\";
+      "controls: \x00\x01\x02\x1f \n\t\r";
+      "non-ascii bytes: caf\xc3\xa9 \xff\x80";
+      String.init 256 Char.chr;
+    ]
+
+let test_json_deeply_nested_arrays () =
+  let depth = 500 in
+  let js = String.make depth '[' ^ "7" ^ String.make depth ']' in
+  match Json_min.parse js with
+  | Error e -> Alcotest.failf "nested parse failed: %s" e
+  | Ok doc ->
+      let rec depth_of acc = function
+        | Json_min.Arr [ x ] -> depth_of (acc + 1) x
+        | Json_min.Num n ->
+            check (Alcotest.float 0.0) "payload survives" 7.0 n;
+            acc
+        | _ -> Alcotest.fail "unexpected shape"
+      in
+      check Alcotest.int "all levels preserved" depth (depth_of 0 doc)
+
 (* -- differential: query-case counters vs Detector.queries ------------ *)
 
 let test_query_cases_sum_to_queries () =
@@ -161,6 +258,7 @@ let () =
           Alcotest.test_case "concurrent max merge" `Quick
             test_counter_max_merge;
           Alcotest.test_case "disable" `Quick test_counter_disable;
+          Alcotest.test_case "reset_all" `Quick test_reset_all;
         ] );
       ( "histogram",
         [
@@ -172,6 +270,14 @@ let () =
         [
           Alcotest.test_case "round trip" `Quick test_trace_round_trip;
           Alcotest.test_case "off by default" `Quick test_trace_off_by_default;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "escape decoding" `Quick test_json_escape_decoding;
+          Alcotest.test_case "escape round trip" `Quick
+            test_json_escape_round_trip;
+          Alcotest.test_case "deeply nested arrays" `Quick
+            test_json_deeply_nested_arrays;
         ] );
       ( "differential",
         [
