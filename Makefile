@@ -1,4 +1,4 @@
-.PHONY: all build test bench profile perfdiff examples replay-smoke clean
+.PHONY: all build test bench profile perfdiff scaling examples replay-smoke clean
 
 all: build
 
@@ -19,6 +19,13 @@ profile:
 perfdiff:
 	dune exec bench/main.exe -- profile --scale tiny --repeats 3 --profile-out /tmp/perfdiff_new.json
 	dune exec bench/main.exe -- perfdiff BENCH_profile.json /tmp/perfdiff_new.json
+
+# Measured multicore runs (work-stealing executor) per domain count,
+# with the contention counters the hot-path optimizations target.
+# Regenerates the committed BENCH_scaling.json baseline (tiny scale,
+# matching BENCH_profile.json and the CI perf-smoke lane).
+scaling:
+	dune exec bench/main.exe -- scaling --scale tiny --repeats 3 --domains 1,2,4,8
 
 examples:
 	dune exec examples/quickstart.exe

@@ -12,6 +12,7 @@
      ablation-readers  keep-all vs 2-per-future reader policies
      ablation-history  mutex vs lock-free vs unsynchronized access history
      eventlog          record-only overhead vs live detection; shard scaling
+     scaling           measured multicore runs per domain count -> schema-v2 JSON
      profile           dump per-configuration snapshots as schema-v2 JSON
      perfdiff OLD NEW  compare two profile dumps; exit 1 on regression
      prof-overhead     A/B microbenchmark of the disabled Prof hot path
@@ -21,8 +22,10 @@
    Options: --scale tiny|small|default|large|paper   (default: default)
             --repeats N                              (default: 2)
             --workers P                              (default: 20)
+            --domains N,N,...  domain counts for scaling (default: 1,2,4,8)
             --trace-out FILE   write a chrome://tracing JSON of the run
             --profile-out FILE (default: BENCH_profile.json)
+            --scaling-out FILE (default: BENCH_scaling.json)
             --report-only      perfdiff prints but never exits 1
             --no-metrics       disable Sfr_obs counters for timing runs   *)
 
@@ -340,11 +343,12 @@ let soak ~seeds ~workers =
 let usage () =
   prerr_endline
     "usage: main.exe [fig3|fig4|fig5|sweep|ablation-locks|ablation-sets|\n\
-    \                 ablation-readers|ablation-history|profile|prof-overhead|\n\
-    \                 micro|eventlog|soak|all]\n\
+    \                 ablation-readers|ablation-history|scaling|profile|\n\
+    \                 prof-overhead|micro|eventlog|soak|all]\n\
     \                [--scale tiny|small|default|large|paper] [--repeats N]\n\
-    \                [--workers P] [--seeds N] [--trace-out FILE]\n\
-    \                [--profile-out FILE] [--no-metrics]\n\
+    \                [--workers P] [--seeds N] [--domains N,N,...]\n\
+    \                [--trace-out FILE] [--profile-out FILE]\n\
+    \                [--scaling-out FILE] [--no-metrics]\n\
     \       main.exe perfdiff OLD.json NEW.json [--report-only]";
   exit 2
 
@@ -359,6 +363,8 @@ let () =
   let report_only = ref false in
   let trace_out = ref None in
   let profile_out = ref "BENCH_profile.json" in
+  let scaling_out = ref "BENCH_scaling.json" in
+  let domains = ref [ 1; 2; 4; 8 ] in
   let rec parse = function
     | [] -> ()
     | "--scale" :: s :: rest ->
@@ -390,6 +396,20 @@ let () =
     | "--profile-out" :: f :: rest ->
         profile_out := f;
         parse rest
+    | "--scaling-out" :: f :: rest ->
+        scaling_out := f;
+        parse rest
+    | "--domains" :: spec :: rest ->
+        (match
+           String.split_on_char ',' spec
+           |> List.map (fun s ->
+                  match int_of_string_opt (String.trim s) with
+                  | Some n when n > 0 -> n
+                  | Some _ | None -> usage ())
+         with
+        | [] -> usage ()
+        | ds -> domains := ds);
+        parse rest
     | "--report-only" :: rest ->
         report_only := true;
         parse rest
@@ -420,6 +440,11 @@ let () =
         try Figures.profile ~scale ~repeats ~out:!profile_out
         with Sys_error msg ->
           Printf.eprintf "cannot write profile: %s\n" msg;
+          exit 2)
+    | "scaling" -> (
+        try Figures.scaling ~scale ~repeats ~domains:!domains ~out:!scaling_out
+        with Sys_error msg ->
+          Printf.eprintf "cannot write scaling results: %s\n" msg;
           exit 2)
     | "perfdiff" -> (
         match !positional with

@@ -6,12 +6,15 @@ module Chaos = Sfr_chaos.Chaos
    synchronization as the dominant full-detection cost; these counters
    let the ablations see lock contention and reader-set churn directly.
    The prof timers cover the whole read-insert / write-evict critical
-   path (lock wait, race checks, reader churn) per access. *)
+   path (lock wait, race checks, reader churn) per access.
+   [history.write.fastpath] counts writes absorbed by the last-writer
+   filter — the accesses that never touched a lock or an atomic. *)
 let m_lock_acquire = Metrics.counter "history.lock.acquire"
 let m_lock_contended = Metrics.counter "history.lock.contended"
 let m_cas_retry = Metrics.counter "history.cas.retry"
 let m_readers_insert = Metrics.counter "history.readers.insert"
 let m_readers_evict = Metrics.counter "history.readers.evict"
+let m_write_fast = Metrics.counter "history.write.fastpath"
 let t_read = Prof.timer "prof.history.read.ns"
 let t_write = Prof.timer "prof.history.write.ns"
 
@@ -26,11 +29,42 @@ type 'a policy =
 
 type sync_mode = [ `Mutex | `Unsynchronized | `Lockfree ]
 
+(* Fibonacci multiplicative mixing for stripe / write-cache selection.
+   Raw low bits ([loc land (stripes-1)]) alias every strided access
+   pattern whose stride shares a factor with the stripe count — a
+   power-of-two matrix row maps an entire column onto ONE stripe and
+   serializes all domains on its lock. Multiplying by the golden-ratio
+   constant diffuses every input bit into the high bits, which the
+   selector then takes. OCaml ints are 63-bit, so we use the 64-bit
+   constant 0x9E37_79B9_7F4A_7C15 reduced mod 2^63 (multiplication only
+   ever sees residues mod 2^63 anyway): 0x1E37_79B9_7F4A_7C15. *)
+let fib_mix = 0x1E37_79B9_7F4A_7C15
+
+let mix_bits loc shift = (loc * fib_mix) lsr (Sys.int_size - shift)
+
 (* -- striped (mutex / unsynchronized) representation ------------------- *)
 
+(* Reader storage, per cell:
+   - [R_list]: the original cons-per-reader list (compat path; also what
+     [`Lockfree] uses, as a Treiber stack).
+   - [R_inline]: first [inline_cap] readers in a mutable array reused
+     across write epochs — the common case allocates nothing per read —
+     spilling to a list only past that. Iteration order (spill newest
+     first, then slots newest first) reproduces the list order exactly,
+     so first-race attribution is byte-identical to the compat path.
+   - [R_lr]: leftmost/rightmost per future (the 2k-bound policy). *)
+let inline_cap = 8
+
 type 'a readers =
-  | R_all of 'a list
+  | R_list of 'a list
+  | R_inline of 'a inline
   | R_lr of (int, 'a * 'a) Hashtbl.t (* future id -> (leftmost, rightmost) *)
+
+and 'a inline = {
+  mutable slots : 'a array; (* [||] until the first reader arrives *)
+  mutable n : int; (* live prefix of [slots] *)
+  mutable spill : 'a list; (* readers past [inline_cap], newest first *)
+}
 
 type 'a cell = {
   mutable writer : 'a option;
@@ -66,13 +100,30 @@ type 'a repr =
   | Striped of 'a stripe array * bool (* use locks? *)
   | Lf of 'a lf_table
 
+(* Last-writer filter: a direct-mapped cache of (location, accessor)
+   pairs, one immutable pair record per slot so a racy read can never
+   observe a torn pair. A hit means "this strand installed itself as
+   [loc]'s writer and no later access to [loc] has gone through the
+   history", so the write can skip the whole lock/evict/install cycle —
+   the race check against the previous writer (itself) still runs, to
+   keep the query count identical to the slow path. Any read or foreign
+   write to [loc] invalidates the slot (a plain store; the benign-race
+   argument is in the .mli). *)
+type 'a wentry = { w_loc : int; w_acc : 'a }
+
+let wcache_bits = 11
+let wcache_size = 1 lsl wcache_bits
+
 type 'a t = {
   policy : 'a policy;
   repr : 'a repr;
   max_readers : int Atomic.t;
+  fast : bool;
+  stripe_log : int; (* log2 (Array.length stripes), for mixed selection *)
+  wcache : 'a wentry option array; (* [||] when the filter is disabled *)
 }
 
-let create ?(stripes = 64) ?(sync = `Mutex) policy =
+let create ?(stripes = 64) ?(sync = `Mutex) ?(fast = true) policy =
   let repr =
     match sync with
     | (`Mutex | `Unsynchronized) as s ->
@@ -91,7 +142,19 @@ let create ?(stripes = 64) ?(sync = `Mutex) policy =
             Detect_error.unsupported ~detector:"Access_history"
               ~feature:"`Lockfree with Lr_per_future (requires Keep_all)")
   in
-  { policy; repr; max_readers = Atomic.make 0 }
+  let stripe_log =
+    match repr with
+    | Striped (ss, _) ->
+        let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+        log2 (Array.length ss)
+    | Lf _ -> 0
+  in
+  let wcache =
+    match repr with
+    | Striped _ when fast -> Array.make wcache_size None
+    | Striped _ | Lf _ -> [||]
+  in
+  { policy; repr; max_readers = Atomic.make 0; fast; stripe_log; wcache }
 
 let note_high_water t n =
   let rec loop () =
@@ -102,12 +165,47 @@ let note_high_water t n =
 
 (* -- striped paths ------------------------------------------------------ *)
 
-let empty_readers = function
-  | Keep_all -> R_all []
+let empty_readers t =
+  match t.policy with
+  | Keep_all ->
+      if t.fast then R_inline { slots = [||]; n = 0; spill = [] } else R_list []
   | Lr_per_future _ -> R_lr (Hashtbl.create 4)
 
+let inline_last r =
+  match r.spill with
+  | x :: _ -> Some x
+  | [] -> if r.n > 0 then Some r.slots.(r.n - 1) else None
+
+let inline_push r accessor =
+  if r.n < Array.length r.slots then begin
+    r.slots.(r.n) <- accessor;
+    r.n <- r.n + 1
+  end
+  else if Array.length r.slots = 0 then begin
+    (* first reader ever at this cell: the reader itself seeds the array,
+       so no dummy element is needed and later inserts allocate nothing *)
+    r.slots <- Array.make inline_cap accessor;
+    r.n <- 1
+  end
+  else r.spill <- accessor :: r.spill
+
+(* newest-first, mirroring the cons-list order of the compat path *)
+let inline_iter_newest_first r f =
+  List.iter f r.spill;
+  for i = r.n - 1 downto 0 do
+    f r.slots.(i)
+  done
+
+let inline_reset r =
+  r.n <- 0;
+  r.spill <- []
+
+let stripe_of t stripes loc =
+  if t.fast then mix_bits loc t.stripe_log
+  else loc land (Array.length stripes - 1)
+
 let with_cell t stripes locking loc f =
-  let stripe = stripes.(loc land (Array.length stripes - 1)) in
+  let stripe = stripes.(stripe_of t stripes loc) in
   if locking then begin
     (* perturb-only site: widens the window between an accessor reaching
        the history and publishing into it *)
@@ -122,7 +220,7 @@ let with_cell t stripes locking loc f =
     match Hashtbl.find_opt stripe.cells loc with
     | Some c -> c
     | None ->
-        let c = { writer = None; readers = empty_readers t.policy; nreaders = 0 } in
+        let c = { writer = None; readers = empty_readers t; nreaders = 0 } in
         Hashtbl.add stripe.cells loc c;
         c
   in
@@ -130,15 +228,40 @@ let with_cell t stripes locking loc f =
   if locking then Mutex.unlock stripe.mu;
   result
 
+let wcache_invalidate t loc =
+  if Array.length t.wcache > 0 then
+    t.wcache.(mix_bits loc wcache_bits) <- None
+
+let wcache_store t loc accessor =
+  if Array.length t.wcache > 0 then
+    t.wcache.(mix_bits loc wcache_bits) <- Some { w_loc = loc; w_acc = accessor }
+
+let wcache_hit t loc accessor =
+  Array.length t.wcache > 0
+  &&
+  match t.wcache.(mix_bits loc wcache_bits) with
+  | Some e -> e.w_loc = loc && e.w_acc == accessor
+  | None -> false
+
 let striped_read t stripes locking ~loc ~accessor ~check_writer =
+  wcache_invalidate t loc;
   with_cell t stripes locking loc (fun cell ->
       (match cell.writer with Some w -> check_writer w | None -> ());
       (match (t.policy, cell.readers) with
-      | Keep_all, R_all rs ->
+      | Keep_all, R_list rs ->
           (* collapse consecutive reads by the same strand *)
           let same_strand = match rs with r :: _ -> r == accessor | [] -> false in
           if not same_strand then begin
-            cell.readers <- R_all (accessor :: rs);
+            cell.readers <- R_list (accessor :: rs);
+            cell.nreaders <- cell.nreaders + 1;
+            Metrics.incr m_readers_insert
+          end
+      | Keep_all, R_inline r ->
+          let same_strand =
+            match inline_last r with Some x -> x == accessor | None -> false
+          in
+          if not same_strand then begin
+            inline_push r accessor;
             cell.nreaders <- cell.nreaders + 1;
             Metrics.incr m_readers_insert
           end
@@ -166,26 +289,45 @@ let striped_read t stripes locking ~loc ~accessor ~check_writer =
                 end;
                 Hashtbl.replace tbl f (l', r')
               end)
-      | Keep_all, R_lr _ | Lr_per_future _, R_all _ -> assert false);
+      | Keep_all, R_lr _ | Lr_per_future _, (R_list _ | R_inline _) ->
+          assert false);
       note_high_water t cell.nreaders)
 
 let striped_write t stripes locking ~loc ~accessor ~check =
-  with_cell t stripes locking loc (fun cell ->
-      (match cell.writer with
-      | Some w -> check ~prev:w ~prev_is_writer:true
-      | None -> ());
-      (match cell.readers with
-      | R_all rs -> List.iter (fun r -> check ~prev:r ~prev_is_writer:false) rs
-      | R_lr tbl ->
-          Hashtbl.iter
-            (fun _ (l, r) ->
-              check ~prev:l ~prev_is_writer:false;
-              if r != l then check ~prev:r ~prev_is_writer:false)
-            tbl);
-      Metrics.add m_readers_evict cell.nreaders;
-      cell.readers <- empty_readers t.policy;
-      cell.nreaders <- 0;
-      cell.writer <- Some accessor)
+  if wcache_hit t loc accessor then begin
+    (* consecutive same-strand write: this strand is already the
+       installed writer and no reader registered since — re-installing
+       would evict nothing and change nothing. Run the writer-vs-writer
+       check anyway (it is what the slow path would do, and the query
+       count must not depend on the filter), then skip lock and evict. *)
+    Metrics.incr m_write_fast;
+    check ~prev:accessor ~prev_is_writer:true
+  end
+  else begin
+    with_cell t stripes locking loc (fun cell ->
+        (match cell.writer with
+        | Some w -> check ~prev:w ~prev_is_writer:true
+        | None -> ());
+        (match cell.readers with
+        | R_list rs -> List.iter (fun r -> check ~prev:r ~prev_is_writer:false) rs
+        | R_inline r ->
+            inline_iter_newest_first r (fun x ->
+                check ~prev:x ~prev_is_writer:false);
+            inline_reset r
+        | R_lr tbl ->
+            Hashtbl.iter
+              (fun _ (l, r) ->
+                check ~prev:l ~prev_is_writer:false;
+                if r != l then check ~prev:r ~prev_is_writer:false)
+              tbl);
+        Metrics.add m_readers_evict cell.nreaders;
+        (match cell.readers with
+        | R_inline _ -> () (* reset in place: the slots array is reused *)
+        | R_list _ | R_lr _ -> cell.readers <- empty_readers t);
+        cell.nreaders <- 0;
+        cell.writer <- Some accessor);
+    wcache_store t loc accessor
+  end
 
 (* -- lock-free paths ----------------------------------------------------- *)
 
@@ -269,16 +411,33 @@ let lf_read t tbl ~loc ~accessor ~check_writer =
   | Some w -> check_writer w
   | None -> ()
 
-let lf_write _t tbl ~loc ~accessor ~check =
+let lf_write t tbl ~loc ~accessor ~check =
   let cell = lf_cell_of tbl loc in
   Chaos.point Chaos.Lock_acquire;
-  (match Atomic.exchange cell.lf_writer (Some accessor) with
-  | Some w -> check ~prev:w ~prev_is_writer:true
-  | None -> ());
-  let rs = Atomic.exchange cell.lf_readers [] in
-  Atomic.set cell.lf_count 0;
-  Metrics.add m_readers_evict (List.length rs);
-  List.iter (fun r -> check ~prev:r ~prev_is_writer:false) rs
+  let same_writer =
+    t.fast
+    && (match Atomic.get cell.lf_writer with
+       | Some w -> w == accessor
+       | None -> false)
+    && Atomic.get cell.lf_readers == []
+  in
+  if same_writer then begin
+    (* last-writer filter, lock-free flavor: skip both exchanges — the
+       reader stack stays untouched, so concurrent readers don't retry
+       their CAS against this write's drain. The writer-vs-writer check
+       still runs (query-count parity with the unfiltered path). *)
+    Metrics.incr m_write_fast;
+    check ~prev:accessor ~prev_is_writer:true
+  end
+  else begin
+    (match Atomic.exchange cell.lf_writer (Some accessor) with
+    | Some w -> check ~prev:w ~prev_is_writer:true
+    | None -> ());
+    let rs = Atomic.exchange cell.lf_readers [] in
+    Atomic.set cell.lf_count 0;
+    Metrics.add m_readers_evict (List.length rs);
+    List.iter (fun r -> check ~prev:r ~prev_is_writer:false) rs
+  end
 
 (* -- dispatch ------------------------------------------------------------ *)
 
@@ -336,9 +495,10 @@ let words t =
           acc + 6
           +
           match c.readers with
-          | R_all rs -> 3 * List.length rs
+          | R_list rs -> 3 * List.length rs
+          | R_inline r -> 3 + Array.length r.slots + (3 * List.length r.spill)
           | R_lr tbl -> 5 * Hashtbl.length tbl)
-        (8 * Array.length stripes)
+        (8 * Array.length stripes + Array.length t.wcache)
   | Lf tbl ->
       fold_lf tbl
         (fun acc c -> acc + 6 + (3 * List.length (Atomic.get c.lf_readers)))

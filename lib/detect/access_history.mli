@@ -32,7 +32,35 @@
 
     On a write the readers are drained/cleared and the writer replaced —
     the standard update preserving the per-location reported-iff-exists
-    guarantee. *)
+    guarantee.
+
+    {2 Fast paths}
+
+    [create ~fast:true] (the default) layers three optimizations over the
+    modes above; [~fast:false] is the reference ablation, and the two must
+    produce byte-identical race reports and identical query counts:
+
+    - {b Last-writer filter}: a direct-mapped cache of (location,
+      accessor) pairs. A write whose strand is already the installed
+      writer for the location — and with no reader registered since —
+      skips the lock/evict/install cycle entirely; only the
+      writer-vs-writer race check runs (so the query count matches the
+      unfiltered path exactly). The cache is read without
+      synchronization; this is sound because a hit can only be stale if
+      some other access to the location has gone through the locked path
+      since this strand's write installed itself — and that access was
+      then checked against this strand's installed write, so the pair was
+      already examined. Reads and foreign writes invalidate the slot.
+      Counted by [history.write.fastpath].
+    - {b Inline readers}: under [Keep_all], the first 8 readers of each
+      write epoch live in a mutable array reused across epochs — the
+      common case allocates no cons cell per read — spilling to a list
+      past 8. Eviction iterates newest-first, reproducing the list
+      path's order, so first-race attribution is unchanged.
+    - {b Mixed stripe hashing}: stripe (and cache-slot) selection
+      multiplies the location by the golden-ratio constant and takes the
+      high bits, so power-of-two strided access patterns spread across
+      stripes instead of serializing on one lock. *)
 
 type 'a policy =
   | Keep_all
@@ -52,8 +80,9 @@ type sync_mode = [ `Mutex | `Unsynchronized | `Lockfree ]
 
 type 'a t
 
-val create : ?stripes:int -> ?sync:sync_mode -> 'a policy -> 'a t
-(** Defaults: 64 stripes, [`Mutex].
+val create : ?stripes:int -> ?sync:sync_mode -> ?fast:bool -> 'a policy -> 'a t
+(** Defaults: 64 stripes, [`Mutex], [~fast:true] (see {e Fast paths}
+    above; [~fast:false] selects the reference slow paths for ablation).
     @raise Invalid_argument for [`Lockfree] with [Lr_per_future]. *)
 
 val on_read : 'a t -> loc:int -> accessor:'a -> check_writer:('a -> unit) -> unit

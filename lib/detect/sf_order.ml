@@ -1,8 +1,15 @@
 module Events = Sfr_runtime.Events
 module Sp_order = Sfr_reach.Sp_order
 module Fp_sets = Sfr_reach.Fp_sets
+module Chunk_vec = Sfr_support.Chunk_vec
 module Metrics = Sfr_obs.Metrics
 module Prof = Sfr_obs.Prof
+
+(* Same registry entry Fp_sets charges table growth to: the cp container
+   itself is part of the reachability tables' footprint, and the
+   chunked-vs-copy-on-write ablation shows up here (O(k) vs O(k²) words
+   over k future creates). *)
+let m_table_words = Metrics.counter "reach.table.alloc_words"
 
 (* Query-case breakdown of Algorithm 1 (Lemmas 3.4-3.9): the three
    counters partition every Precedes call, so they sum to [queries ()].
@@ -31,17 +38,64 @@ let as_sf = function
   | Sf s -> s
   | _ -> Detect_error.foreign_state ~detector:"Sf_order" ~context:"state unwrap"
 
-let make_with_precedes ?(readers = `All) ?(sets = `Bitmap) ?(history = `Mutex) () =
+(* cp(G) per future, indexed by future ID. Both stores give queries a
+   lock-free read of immutable-once-installed entries; they differ in
+   what a create pays:
+
+   - [Cp_chunked] (default): a chunked vector — push claims a slot under
+     a short lock and installs a new 512-slot chunk every 512 creates.
+     O(1) amortized, O(k) container words total, and existing entries
+     are never copied or moved.
+   - [Cp_cow] (ablation): the original copy-on-write array snapshot —
+     every create copies the whole pointer array under a mutex, O(k) per
+     create and O(k²) container words over the run. *)
+type cp_store =
+  | Cp_chunked of Fp_sets.table Chunk_vec.t
+  | Cp_cow of { arr : Fp_sets.table array Atomic.t; mu : Mutex.t }
+
+let cp_get store fid =
+  match store with
+  | Cp_chunked cv -> Chunk_vec.get cv fid
+  | Cp_cow { arr; _ } -> (Atomic.get arr).(fid)
+
+(* allocate the next future ID with cp(new) = cp(parent) ∪ {parent} *)
+let cp_append store eng ~parent_fid =
+  match store with
+  | Cp_chunked cv ->
+      (* the child set doesn't depend on the new ID, so it is computed
+         outside the vector's lock; push only claims the slot *)
+      let parent_cp = Fp_sets.share (Chunk_vec.get cv parent_fid) in
+      let child_cp = Fp_sets.with_added eng parent_cp parent_fid in
+      Chunk_vec.push cv child_cp
+  | Cp_cow { arr; mu } ->
+      Mutex.lock mu;
+      let old = Atomic.get arr in
+      let fid = Array.length old in
+      let parent_cp = Fp_sets.share old.(parent_fid) in
+      let child_cp = Fp_sets.with_added eng parent_cp parent_fid in
+      Atomic.set arr (Array.append old [| child_cp |]);
+      (* the snapshot copy is container growth: fid+1 pointer slots *)
+      Metrics.add m_table_words (fid + 1);
+      Mutex.unlock mu;
+      fid
+
+let make_with_precedes ?(readers = `All) ?(sets = `Bitmap) ?(history = `Mutex)
+    ?(fast = true) () =
   let spo, root_pos = Sp_order.create () in
   let eng =
     Fp_sets.create (match sets with `Bitmap -> Fp_sets.Bitmap | `Hashed -> Fp_sets.Hashed)
   in
-  (* cp(G) per future, indexed by future ID. Queries read a copy-on-write
-     array snapshot lock-free (entries are immutable once installed);
-     creates serialize on a mutex and install a grown snapshot — O(k)
-     per create, inside the O(k²) construction budget of Lemma 3.12. *)
-  let cp : Fp_sets.table array Atomic.t = Atomic.make [| Fp_sets.empty eng |] in
-  let cp_mu = Mutex.create () in
+  let cp =
+    if fast then begin
+      let cv =
+        Chunk_vec.create ~on_alloc:(Metrics.add m_table_words) (Fp_sets.empty eng)
+      in
+      ignore (Chunk_vec.push cv (Fp_sets.empty eng));
+      Cp_chunked cv
+    end
+    else
+      Cp_cow { arr = Atomic.make [| Fp_sets.empty eng |]; mu = Mutex.create () }
+  in
   let races = Race.create () in
   (* Query count, striped per domain with one cache line per slot: a
      shared [Atomic.incr] here serializes every domain on one cache line
@@ -71,7 +125,7 @@ let make_with_precedes ?(readers = `All) ?(sets = `Bitmap) ?(history = `Mutex) (
       Prof.stop t_q_same t0;
       r
     end
-    else if Fp_sets.mem (Atomic.get cp).(v.fid) u.fid then begin
+    else if Fp_sets.mem (cp_get cp v.fid) u.fid then begin
       Metrics.incr m_q_cp;
       let r = Sp_order.precedes spo u.pos v.pos in
       Prof.stop t_q_cp t0;
@@ -96,7 +150,7 @@ let make_with_precedes ?(readers = `All) ?(sets = `Bitmap) ?(history = `Mutex) (
             covers = (fun a b -> a == b || Sp_order.precedes spo a.pos b.pos);
           }
   in
-  let history = Access_history.create ~sync:history policy in
+  let history = Access_history.create ~sync:history ~fast policy in
   let metrics = Detector.metrics_since_creation () in
   let callbacks =
     {
@@ -113,15 +167,9 @@ let make_with_precedes ?(readers = `All) ?(sets = `Bitmap) ?(history = `Mutex) (
       on_create =
         (fun cur ->
           let cur = as_sf cur in
-          (* cp(G) = cp(parent) ∪ {parent}: one O(k/w) copy per future,
-             the O(k²) construction term of Lemma 3.12 *)
-          Mutex.lock cp_mu;
-          let old = Atomic.get cp in
-          let fid = Array.length old in
-          let parent_cp = Fp_sets.share old.(cur.fid) in
-          let child_cp = Fp_sets.with_added eng parent_cp cur.fid in
-          Atomic.set cp (Array.append old [| child_cp |]);
-          Mutex.unlock cp_mu;
+          (* cp(G) = cp(parent) ∪ {parent}: one O(k/w) set copy per
+             future, the O(k²) construction term of Lemma 3.12 *)
+          let fid = cp_append cp eng ~parent_fid:cur.fid in
           let c_pos, t_pos, blk = Sp_order.spawn spo ~cur:cur.pos ~block:cur.block in
           let child = { pos = c_pos; block = None; fid; gp = Fp_sets.share cur.gp } in
           let cont = { pos = t_pos; block = Some blk; fid = cur.fid; gp = cur.gp } in
@@ -179,7 +227,7 @@ let make_with_precedes ?(readers = `All) ?(sets = `Bitmap) ?(history = `Mutex) (
   },
     fun u v -> precedes (as_sf u) (as_sf v) )
 
-let make ?readers ?sets ?history () =
-  fst (make_with_precedes ?readers ?sets ?history ())
+let make ?readers ?sets ?history ?fast () =
+  fst (make_with_precedes ?readers ?sets ?history ?fast ())
 
 let strand_future st = (as_sf st).fid

@@ -30,20 +30,30 @@
       fine-grained locks), [`Unsynchronized] (serial runs only; isolates
       the locking overhead the paper discusses), or [`Lockfree] (the
       redesigned low-synchronization history the paper's conclusion asks
-      for; see {!Access_history}). *)
+      for; see {!Access_history}).
+    - [fast]: hot-path optimizations, on by default. [~fast:true] stores
+      [cp(G)] in a lock-free chunked vector (O(1) amortized per create,
+      O(k) container words) and enables the access-history fast paths
+      (see {!Access_history}); [~fast:false] is the reference ablation —
+      copy-on-write [cp] snapshots (O(k) copy per create under a mutex)
+      and the unoptimized history. Race reports, query counts, and
+      [max_readers] are identical between the two. *)
 
 val make :
   ?readers:[ `All | `Two_per_future ] ->
   ?sets:[ `Bitmap | `Hashed ] ->
   ?history:Access_history.sync_mode ->
+  ?fast:bool ->
   unit ->
   Detector.t
-(** Defaults: [`All] readers, [`Bitmap] sets, [`Mutex] history. *)
+(** Defaults: [`All] readers, [`Bitmap] sets, [`Mutex] history,
+    [~fast:true]. *)
 
 val make_with_precedes :
   ?readers:[ `All | `Two_per_future ] ->
   ?sets:[ `Bitmap | `Hashed ] ->
   ?history:Access_history.sync_mode ->
+  ?fast:bool ->
   unit ->
   Detector.t * (Sfr_runtime.Events.state -> Sfr_runtime.Events.state -> bool)
 (** The detector plus its raw [Precedes] query over strand states (for

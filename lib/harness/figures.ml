@@ -480,6 +480,90 @@ let profile ~scale ~repeats ~out =
   Tablefmt.print t;
   Format.printf "wrote %s (schema v%d)@." out Bench_schema.version
 
+(* ---------------------------------------------------------------- *)
+(* Domain scaling: measured multicore runs                            *)
+(* ---------------------------------------------------------------- *)
+
+(* Unlike [sweep] (simulated times from a recorded dag), these are real
+   runs on the work-stealing executor — the numbers that move when the
+   synchronization hot paths change: stripe-lock contention, CAS retries
+   under the lock-free history, cp-container growth. *)
+let scaling ~scale ~repeats ~domains ~out =
+  Format.printf
+    "Domain scaling: measured wall-clock per domain count (work-stealing \
+     executor, %d hardware core(s) available), full SF-Order detection \
+     plus reach-only, with contention counters -> %s@."
+    (Domain.recommended_domain_count ())
+    out;
+  let t =
+    Tablefmt.create ~title:""
+      [
+        ("bench", Tablefmt.Left);
+        ("config", Tablefmt.Left);
+        ("domains", Tablefmt.Right);
+        ("median (s)", Tablefmt.Right);
+        ("speedup", Tablefmt.Right);
+        ("lock cont.", Tablefmt.Right);
+        ("cas retry", Tablefmt.Right);
+        ("table words", Tablefmt.Right);
+      ]
+  in
+  let metric m name =
+    match List.assoc_opt name m.Runner.metrics with Some v -> v | None -> 0
+  in
+  let entries = ref [] in
+  List.iter
+    (fun (w : Workload.t) ->
+      let mk = instance_maker w scale in
+      List.iter
+        (fun (config, mode) ->
+          let base_median = ref None in
+          List.iter
+            (fun d ->
+              let m = Runner.time_parallel ~repeats ~domains:d mk mode in
+              let speedup =
+                match !base_median with
+                | None ->
+                    base_median := Some m.Runner.median;
+                    1.0
+                | Some t1 -> t1 /. m.Runner.median
+              in
+              entries :=
+                Bench_schema.of_measurement ~workload:w.Workload.name
+                  ~detector:(Printf.sprintf "sf-order-%s@d%d" config d)
+                  ~repeats m
+                :: !entries;
+              Tablefmt.add_row t
+                [
+                  w.Workload.name;
+                  config;
+                  string_of_int d;
+                  Printf.sprintf "%.4f" m.Runner.median;
+                  Printf.sprintf "%.2fx" speedup;
+                  Tablefmt.cell_int_compact (metric m "history.lock.contended");
+                  Tablefmt.cell_int_compact (metric m "history.cas.retry");
+                  Tablefmt.cell_int_compact (metric m "reach.table.alloc_words");
+                ])
+            domains)
+        [
+          ("reach", Runner.Reach (fun () -> Sf_order.make ()));
+          ("full", Runner.Full (fun () -> Sf_order.make ()));
+        ];
+      Tablefmt.add_separator t)
+    Registry.all;
+  let result =
+    {
+      Bench_schema.version = Bench_schema.version;
+      env =
+        Bench_schema.capture_env
+          ~scale:(Format.asprintf "%a" Workload.pp_scale scale);
+      entries = List.rev !entries;
+    }
+  in
+  Bench_schema.write out result;
+  Tablefmt.print t;
+  Format.printf "wrote %s (schema v%d)@." out Bench_schema.version
+
 let complexity () =
   Format.printf
     "Complexity validation (Lemma 3.12): reachability construction is \

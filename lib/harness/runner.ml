@@ -2,6 +2,7 @@ module Workload = Sfr_workloads.Workload
 module Detector = Sfr_detect.Detector
 module Events = Sfr_runtime.Events
 module Serial_exec = Sfr_runtime.Serial_exec
+module Par_exec = Sfr_runtime.Par_exec
 module Trace = Sfr_runtime.Trace
 module Sim_sched = Sfr_runtime.Sim_sched
 module Stats = Sfr_support.Stats
@@ -35,9 +36,11 @@ let reach_only (cb : Events.callbacks) =
     on_work = (fun _ _ -> ());
   }
 
-let time_serial ?(warmup = 1) ~repeats make_instance mode =
-  if repeats < 1 then invalid_arg "Runner.time_serial: repeats must be >= 1";
-  if warmup < 0 then invalid_arg "Runner.time_serial: warmup must be >= 0";
+(* shared sample-then-summarize driver behind time_serial/time_parallel:
+   [exec cb root prog] is the execution engine being timed *)
+let time_with ~who ~exec ~warmup ~repeats make_instance mode =
+  if repeats < 1 then invalid_arg (who ^ ": repeats must be >= 1");
+  if warmup < 0 then invalid_arg (who ^ ": warmup must be >= 0");
   let last_detector = ref None in
   let one () =
     let inst = make_instance () in
@@ -45,9 +48,7 @@ let time_serial ?(warmup = 1) ~repeats make_instance mode =
     | Base ->
         let (), dt =
           Stats.time (fun () ->
-              Serial_exec.run Events.null ~root:Events.Unit_state
-                inst.Workload.program
-              |> fst)
+              exec Events.null Events.Unit_state inst.Workload.program)
         in
         dt
     | Reach make_det ->
@@ -55,8 +56,7 @@ let time_serial ?(warmup = 1) ~repeats make_instance mode =
         last_detector := Some det;
         let cb = reach_only det.Detector.callbacks in
         let (), dt =
-          Stats.time (fun () ->
-              Serial_exec.run cb ~root:det.Detector.root inst.Workload.program |> fst)
+          Stats.time (fun () -> exec cb det.Detector.root inst.Workload.program)
         in
         dt
     | Full make_det ->
@@ -64,9 +64,7 @@ let time_serial ?(warmup = 1) ~repeats make_instance mode =
         last_detector := Some det;
         let (), dt =
           Stats.time (fun () ->
-              Serial_exec.run det.Detector.callbacks ~root:det.Detector.root
-                inst.Workload.program
-              |> fst)
+              exec det.Detector.callbacks det.Detector.root inst.Workload.program)
         in
         dt
   in
@@ -104,6 +102,17 @@ let time_serial ?(warmup = 1) ~repeats make_instance mode =
     racy_locations = racy;
     metrics;
   }
+
+let time_serial ?(warmup = 1) ~repeats make_instance mode =
+  time_with ~who:"Runner.time_serial"
+    ~exec:(fun cb root prog -> Serial_exec.run cb ~root prog |> fst)
+    ~warmup ~repeats make_instance mode
+
+let time_parallel ?(warmup = 1) ~repeats ~domains make_instance mode =
+  if domains < 1 then invalid_arg "Runner.time_parallel: domains must be >= 1";
+  time_with ~who:"Runner.time_parallel"
+    ~exec:(fun cb root prog -> Par_exec.run ~workers:domains cb ~root prog |> fst)
+    ~warmup ~repeats make_instance mode
 
 type recorded = {
   dag : Sfr_dag.Dag.t;

@@ -45,6 +45,20 @@ val time_serial :
     repeat. [warmup] (default 1) extra repeats run first and are excluded
     from every statistic. *)
 
+val time_parallel :
+  ?warmup:int ->
+  repeats:int ->
+  domains:int ->
+  (unit -> Sfr_workloads.Workload.instance) ->
+  mode ->
+  measurement
+(** [time_serial] with the work-stealing executor
+    ({!Sfr_runtime.Par_exec}) on [domains] domains — real parallel
+    execution, not the scheduling simulation, so detector-internal
+    contention ([history.lock.contended], [history.cas.retry]) is
+    exercised and captured in [metrics]. Wall-clock speedup additionally
+    requires that many hardware cores. *)
+
 type recorded = {
   dag : Sfr_dag.Dag.t;
   reads : int;

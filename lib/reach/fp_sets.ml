@@ -16,10 +16,14 @@ type t = {
   live : int Atomic.t; (* words *)
   peak : int Atomic.t;
   total : int Atomic.t; (* cumulative words ever allocated or grown *)
+  next_id : int Atomic.t;
   mutable empty_table : table option;
 }
 
-and table = { repr : repr; rc : int Atomic.t; eng : t }
+and table = { repr : repr; rc : int Atomic.t; tid : int; eng : t }
+(* [tid] is a process-unique identity: physically equal tables (and only
+   those) share it, so merge can dedup its inputs with one sort instead
+   of O(n²) pointer scans. *)
 
 (* -- representation helpers ------------------------------------------- *)
 
@@ -40,6 +44,12 @@ let repr_add r i =
 let repr_iter f = function
   | Bits b -> Bitset.iter f b
   | Hash h -> Hashtbl.iter (fun i () -> f i) h
+
+(* word-at-a-time when both sides are bitmaps; per-element otherwise *)
+let repr_union_into ~dst src =
+  match (dst, src) with
+  | Bits d, Bits s -> Bitset.union_into ~dst:d s
+  | _ -> repr_iter (fun i -> repr_add dst i) src
 
 let repr_cardinal = function
   | Bits b -> Bitset.cardinal b
@@ -93,7 +103,9 @@ let account_free eng tbl =
 (* -- API ---------------------------------------------------------------- *)
 
 let alloc_table eng repr =
-  let tbl = { repr; rc = Atomic.make 1; eng } in
+  let tbl =
+    { repr; rc = Atomic.make 1; tid = Atomic.fetch_and_add eng.next_id 1; eng }
+  in
   account_alloc eng tbl;
   tbl
 
@@ -105,6 +117,7 @@ let create which =
       live = Atomic.make 0;
       peak = Atomic.make 0;
       total = Atomic.make 0;
+      next_id = Atomic.make 0;
       empty_table = None;
     }
   in
@@ -146,16 +159,24 @@ let with_added eng tbl i =
 let merge eng primary others =
   let inputs = primary :: others in
   (* collapse physically-equal inputs (a strand and its child may share a
-     table); each duplicate surrenders its reference *)
+     table); each duplicate surrenders its reference. Table identities
+     order the inputs, so one sort + one adjacent-pairs pass replaces the
+     O(n²) [List.memq] scan. *)
   let uniq =
-    List.fold_left
-      (fun acc x ->
-        if List.memq x acc then begin
-          release x;
-          acc
-        end
-        else x :: acc)
-      [] inputs
+    match others with
+    | [] -> inputs
+    | _ ->
+        let sorted =
+          List.stable_sort (fun a b -> compare a.tid b.tid) inputs
+        in
+        let rec dedup = function
+          | a :: (b :: _ as rest) when a == b ->
+              release a;
+              dedup rest
+          | a :: rest -> a :: dedup rest
+          | [] -> []
+        in
+        dedup sorted
   in
   match uniq with
   | [] -> assert false
@@ -179,7 +200,7 @@ let merge eng primary others =
       else begin
         let repr = repr_copy best.repr in
         List.iter
-          (fun x -> if x != best then repr_iter (fun i -> repr_add repr i) x.repr)
+          (fun x -> if x != best then repr_union_into ~dst:repr x.repr)
           uniq;
         List.iter release uniq;
         alloc_table eng repr

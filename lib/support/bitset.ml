@@ -34,9 +34,32 @@ let remove s i =
   if w < Array.length s.words then
     s.words.(w) <- s.words.(w) land lnot (1 lsl (i mod bits_per_word))
 
+(* SWAR masks, built by saturating fill so they fit OCaml's 63-bit ints
+   (the 64-bit literals 0x5555… overflow the int literal range; the
+   fixpoint fills every lane of whatever the native word width is). *)
+let swar_fill seed shift =
+  let rec go acc =
+    let acc' = acc lor (acc lsl shift) in
+    if acc' = acc then acc else go acc'
+  in
+  go seed
+
+let m1 = swar_fill 1 2 (* 0b0101…01 *)
+let m2 = swar_fill 3 4 (* 0b0011…11 *)
+let m4 = swar_fill 0xF 8 (* 0x0F0F…0F *)
+let h01 = swar_fill 1 8 (* 0x0101…01 *)
+
+(* Constant-time SWAR popcount: pairwise lane sums then one multiply
+   that accumulates every byte lane into the top one. The top lane of a
+   63-bit word is only 7 bits wide, but the maximum count (63) still
+   fits, so shifting down [bits_per_word - 7] recovers the exact sum. *)
 let popcount x =
-  let rec loop x acc = if x = 0 then acc else loop (x land (x - 1)) (acc + 1) in
-  loop x 0
+  let x = x - ((x lsr 1) land m1) in
+  let x = (x land m2) + ((x lsr 2) land m2) in
+  let x = (x + (x lsr 4)) land m4 in
+  (x * h01) lsr (bits_per_word - 7)
+
+let popcount_word = popcount
 
 let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
 
@@ -61,13 +84,21 @@ let equal a b = subset a b && subset b a
 
 let each_side_has_private_bit a b = not (subset a b) && not (subset b a)
 
+(* Lowest-set-bit iteration: O(cardinal) calls instead of O(words × w)
+   bit probes. [b land (-b)] isolates the lowest set bit; its index is
+   the popcount of the mask of bits below it. *)
 let iter f s =
   Array.iteri
     (fun wi w ->
-      if w <> 0 then
-        for b = 0 to bits_per_word - 1 do
-          if w land (1 lsl b) <> 0 then f ((wi * bits_per_word) + b)
-        done)
+      if w <> 0 then begin
+        let base = wi * bits_per_word in
+        let w = ref w in
+        while !w <> 0 do
+          let b = !w land - !w in
+          f (base + popcount (b - 1));
+          w := !w land (!w - 1)
+        done
+      end)
     s.words
 
 let fold f s init =

@@ -42,6 +42,14 @@ val each_side_has_private_bit : t -> t -> bool
     [gp] maintenance must allocate a fresh merged table rather than alias
     one of its parents' tables (Section 3.4). *)
 
+val popcount_word : int -> int
+(** Constant-time SWAR population count of one machine word's bit
+    pattern (sign bit included) — the kernel behind {!cardinal} and the
+    lowest-set-bit {!iter}; exposed for property testing against a
+    bit-probing reference. *)
+
+(** [iter f s] applies [f] to every member in ascending order, by
+    O(cardinal) lowest-set-bit extraction rather than per-bit probing. *)
 val iter : (int -> unit) -> t -> unit
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 val elements : t -> int list

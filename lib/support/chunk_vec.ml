@@ -1,0 +1,90 @@
+(* Append-only chunked vector with lock-free reads.
+
+   The spine is an immutable-once-published array of chunk pointers;
+   chunks are fixed-size mutable arrays shared by every spine snapshot
+   that covers them. [get] is two array loads off one atomic spine read.
+   [push] holds the lock only to claim the next slot and (every
+   [chunk_size] pushes) install a fresh chunk behind a copied spine —
+   never to copy elements, so the critical section is O(1) amortized
+   regardless of length.
+
+   Publication safety: an index becomes visible to other domains only
+   through some synchronizing handoff by the caller (in this codebase, a
+   work-stealing deque push/steal, both mutex-protected), which
+   happens-after the locked [push] that filled the slot. A reader whose
+   spine snapshot predates the covering chunk therefore cannot hold a
+   published index for it; the guarded slow path in [get] re-reads the
+   spine under the lock anyway, so even an out-of-contract racy read
+   degrades to a blocking read instead of an out-of-bounds crash. *)
+
+let chunk_bits = 9
+let chunk_size = 1 lsl chunk_bits
+let chunk_mask = chunk_size - 1
+
+type 'a t = {
+  spine : 'a array array Atomic.t;
+  mu : Mutex.t;
+  len : int Atomic.t;
+  dummy : 'a; (* fills unclaimed chunk slots; never returned for i < len *)
+  on_alloc : int -> unit; (* invoked under mu with words just allocated *)
+  mutable chunk_allocs : int; (* guarded by mu *)
+  mutable spine_words : int; (* cumulative words copied into spines *)
+}
+
+let create ?(on_alloc = fun _ -> ()) dummy =
+  {
+    spine = Atomic.make [||];
+    mu = Mutex.create ();
+    len = Atomic.make 0;
+    dummy;
+    on_alloc;
+    chunk_allocs = 0;
+    spine_words = 0;
+  }
+
+let length t = Atomic.get t.len
+
+let get t i =
+  let s = Atomic.get t.spine in
+  let c = i lsr chunk_bits in
+  if c < Array.length s then Array.unsafe_get (Array.unsafe_get s c) (i land chunk_mask)
+  else begin
+    (* slow path: stale spine (see header) — synchronize and retry *)
+    Mutex.lock t.mu;
+    let s = Atomic.get t.spine in
+    Mutex.unlock t.mu;
+    s.(c).(i land chunk_mask)
+  end
+
+let push t x =
+  Mutex.lock t.mu;
+  let i = Atomic.get t.len in
+  let c = i lsr chunk_bits in
+  let s = Atomic.get t.spine in
+  (if c < Array.length s then s.(c).(i land chunk_mask) <- x
+   else begin
+     let chunk = Array.make chunk_size t.dummy in
+     chunk.(0) <- x;
+     let s' = Array.append s [| chunk |] in
+     t.chunk_allocs <- t.chunk_allocs + 1;
+     t.spine_words <- t.spine_words + Array.length s';
+     t.on_alloc (chunk_size + Array.length s');
+     Atomic.set t.spine s'
+   end);
+  Atomic.set t.len (i + 1);
+  Mutex.unlock t.mu;
+  i
+
+let chunk_allocs t =
+  Mutex.lock t.mu;
+  let n = t.chunk_allocs in
+  Mutex.unlock t.mu;
+  n
+
+let alloc_words t =
+  Mutex.lock t.mu;
+  let w = (t.chunk_allocs * chunk_size) + t.spine_words in
+  Mutex.unlock t.mu;
+  w
+
+let debug_chunks t = Atomic.get t.spine

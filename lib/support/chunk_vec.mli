@@ -1,0 +1,51 @@
+(** Append-only chunked vector with lock-free reads.
+
+    Built for tables indexed by densely allocated IDs that are read on
+    hot paths from many domains while a writer occasionally appends —
+    SF-Order's per-future [cp] table is the motivating client. The
+    alternatives both lose: a plain array doubles under a lock with an
+    O(n) element copy per grow (and serializes every append against the
+    copy), while a copy-on-write snapshot per append is O(n) {e every}
+    time. Here chunks of [2{^9}] slots are shared structurally between
+    spine snapshots, so
+
+    - [get] is two dependent array loads off one atomic spine read —
+      lock-free, wait-free, O(1);
+    - [push] holds the internal lock for O(1) amortized work: claim a
+      slot, and every 512 pushes install a fresh chunk behind a copied
+      spine of chunk {e pointers} (elements are never copied or moved).
+
+    Indices obtained from [push] must be communicated to other domains
+    through a synchronizing handoff (any mutex or atomic with
+    happens-before, e.g. a scheduler deque) before those domains [get]
+    them — the usual publication contract for lock-free reads. *)
+
+type 'a t
+
+val create : ?on_alloc:(int -> unit) -> 'a -> 'a t
+(** [create dummy] is an empty vector. [dummy] fills unclaimed chunk
+    slots and is never returned by [get] on in-range indices.
+    [on_alloc] is invoked (under the internal lock) with the number of
+    words just allocated whenever a chunk plus spine copy is installed —
+    the hook clients use to attribute container growth to a metrics
+    counter without double-locking. *)
+
+val push : 'a t -> 'a -> int
+(** Append, returning the element's index. Thread-safe. *)
+
+val get : 'a t -> int -> 'a
+(** [get t i] for [0 <= i < length t]. Lock-free. *)
+
+val length : 'a t -> int
+
+(* -- accounting / test hooks ------------------------------------------ *)
+
+val chunk_allocs : 'a t -> int
+(** Chunks allocated so far — [⌈length / 512⌉]; the no-O(n)-copy claim. *)
+
+val alloc_words : 'a t -> int
+(** Cumulative words allocated into chunks and spine copies: O(length),
+    against the O(length²) a copy-on-write-array representation pays. *)
+
+val debug_chunks : 'a t -> 'a array array
+(** The current spine (for structure-sharing tests). Do not mutate. *)
