@@ -1,4 +1,4 @@
-.PHONY: all build test bench profile perfdiff scaling examples replay-smoke clean
+.PHONY: all build test bench profile perfdiff scaling examples replay-smoke telemetry-smoke clean
 
 all: build
 
@@ -45,6 +45,16 @@ replay-smoke:
 	  diff /tmp/$$w.s1.out /tmp/$$w.s4.out && echo "$$w: 1-shard and 4-shard reports identical"; \
 	  rm -f /tmp/$$w.sflog /tmp/$$w.s1.out /tmp/$$w.s4.out; \
 	done
+
+telemetry-smoke:
+	dune build bin/racedetect.exe bench/main.exe
+	@set -e; \
+	dune exec bench/main.exe -- profile --scale tiny --repeats 2 \
+	  --telemetry-out /tmp/telemetry.jsonl --sample-ms 5 \
+	  --profile-out /tmp/telemetry_profile.json; \
+	dune exec bin/racedetect.exe -- telemetry-lint /tmp/telemetry.jsonl --min-samples 2; \
+	dune exec bin/racedetect.exe -- metrics-dump -w mm -s tiny --check > /tmp/metrics.prom; \
+	rm -f /tmp/telemetry.jsonl /tmp/telemetry_profile.json /tmp/metrics.prom
 
 clean:
 	dune clean

@@ -24,6 +24,10 @@
             --workers P                              (default: 20)
             --domains N,N,...  domain counts for scaling (default: 1,2,4,8)
             --trace-out FILE   write a chrome://tracing JSON of the run
+                               (includes telemetry counter tracks)
+            --telemetry-out F  sample continuous telemetry to F as JSONL
+                               and print a utilization-over-time table
+            --sample-ms N      telemetry sampling period (default: 10)
             --profile-out FILE (default: BENCH_profile.json)
             --scaling-out FILE (default: BENCH_scaling.json)
             --report-only      perfdiff prints but never exits 1
@@ -162,6 +166,16 @@ let prof_overhead () =
              Prof.stop t t0
            done))
   in
+  (* same contract for the telemetry probe surface: disarmed, the
+     scheduler's per-decision gate and a mark are one atomic flag load *)
+  let telemetry_disarmed_test =
+    Test.make ~name:"disarmed telemetry mark (x100)"
+      (Staged.stage (fun () ->
+           for i = 1 to 100 do
+             sink := !sink + i;
+             Sfr_obs.Telemetry.mark "bench.disarmed"
+           done))
+  in
   let enabled_test =
     Test.make ~name:"enabled start/stop (x100)"
       (Staged.stage (fun () ->
@@ -187,6 +201,10 @@ let prof_overhead () =
   Prof.disable ();
   measure floor_test;
   measure disabled_test;
+  (if not (Sfr_obs.Telemetry.armed ()) then measure telemetry_disarmed_test
+   else
+     print_endline
+       "  disarmed telemetry mark (x100)   (skipped: telemetry is armed)");
   Prof.enable ();
   measure enabled_test;
   if not was_on then Prof.disable ();
@@ -347,7 +365,8 @@ let usage () =
     \                 prof-overhead|micro|eventlog|soak|all]\n\
     \                [--scale tiny|small|default|large|paper] [--repeats N]\n\
     \                [--workers P] [--seeds N] [--domains N,N,...]\n\
-    \                [--trace-out FILE] [--profile-out FILE]\n\
+    \                [--trace-out FILE] [--telemetry-out FILE] [--sample-ms N]\n\
+    \                [--profile-out FILE]\n\
     \                [--scaling-out FILE] [--no-metrics]\n\
     \       main.exe perfdiff OLD.json NEW.json [--report-only]";
   exit 2
@@ -362,6 +381,8 @@ let () =
   let positional = ref [] in
   let report_only = ref false in
   let trace_out = ref None in
+  let telemetry_out = ref None in
+  let sample_ms = ref Sfr_obs.Telemetry.default_sample_ms in
   let profile_out = ref "BENCH_profile.json" in
   let scaling_out = ref "BENCH_scaling.json" in
   let domains = ref [ 1; 2; 4; 8 ] in
@@ -389,6 +410,14 @@ let () =
         parse rest
     | "--trace-out" :: f :: rest ->
         trace_out := Some f;
+        parse rest
+    | "--telemetry-out" :: f :: rest ->
+        telemetry_out := Some f;
+        parse rest
+    | "--sample-ms" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> sample_ms := n
+        | Some _ | None -> usage ());
         parse rest
     | "--no-metrics" :: rest ->
         Sfr_obs.Metrics.disable ();
@@ -468,7 +497,30 @@ let () =
     | _ -> usage ()
   in
   (match !trace_out with Some _ -> Sfr_obs.Trace_event.start () | None -> ());
+  (* telemetry rides along whenever a trace is requested (counter tracks
+     in the chrome view); --telemetry-out adds the JSONL stream and the
+     utilization table on top *)
+  let telemetry_on = !telemetry_out <> None || !trace_out <> None in
+  if telemetry_on then
+    Sfr_obs.Telemetry.start ~sample_ms:!sample_ms ?out:!telemetry_out
+      ~probe:Sfr_runtime.Par_exec.probe_metrics ();
   run !command;
+  if telemetry_on then begin
+    (* stop before the trace epilogue so the final counter events land
+       inside the written trace *)
+    Sfr_obs.Telemetry.stop ();
+    print_newline ();
+    Printf.printf "Utilization over time (%d samples, %d ms period):\n"
+      (Sfr_obs.Telemetry.sample_count ())
+      !sample_ms;
+    Format.printf "%t@?" Sfr_obs.Telemetry.pp_timeline;
+    match !telemetry_out with
+    | Some f ->
+        Printf.printf "wrote telemetry (%d samples) to %s\n"
+          (Sfr_obs.Telemetry.sample_count ())
+          f
+    | None -> ()
+  end;
   match !trace_out with
   | Some f -> (
       Sfr_obs.Trace_event.stop ();

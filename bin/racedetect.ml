@@ -12,6 +12,8 @@
      racedetect record --workload mm --format sfdag -o mm.trace
      racedetect replay mm.sflog [--detector sf-order] [--shards N]
      racedetect analyze mm.trace
+     racedetect metrics-dump [--workload mm] [--check] [-o FILE]
+     racedetect telemetry-lint t.jsonl [--min-samples N]
 
    Exit codes are uniform across subcommands (see README "Exit codes"):
    0 = clean, 1 = races detected / verification or expectation failed
@@ -86,10 +88,15 @@ let print_detector_report ?(stats = false) det dt =
   let racy = print_races (Race.reports det.Detector.races) in
   if stats then begin
     print_endline "-- metrics ----------------------------------------";
-    match det.Detector.metrics () with
+    (match det.Detector.metrics () with
     | [] -> print_endline "(no metrics recorded; is Sfr_obs.Metrics disabled?)"
     | entries ->
-        print_string (Format.asprintf "%a" Sfr_obs.Metrics.pp_table entries)
+        print_string (Format.asprintf "%a" Sfr_obs.Metrics.pp_table entries));
+    match Sfr_obs.Metrics.histogram_summaries () with
+    | [] -> ()
+    | hs ->
+        print_endline "-- latency percentiles (bucket upper bounds) ------";
+        print_string (Format.asprintf "%a" Sfr_obs.Metrics.pp_summaries hs)
   end;
   racy
 
@@ -173,8 +180,25 @@ let run_cmd =
              on; this asks for the window of a healthy run (crashes dump it \
              automatically).")
   in
+  let telemetry_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry-out" ] ~docv:"FILE"
+          ~doc:
+            "Sample continuous telemetry (metric deltas, scheduler probes, \
+             GC) during the run and stream it as JSONL to $(docv). See \
+             $(b,telemetry-lint) for validation.")
+  in
+  let sample_ms =
+    Arg.(
+      value
+      & opt int Sfr_obs.Telemetry.default_sample_ms
+      & info [ "sample-ms" ] ~docv:"MS"
+          ~doc:"Telemetry sampling period in milliseconds.")
+  in
   let run workload make_det scale executor workers inject no_verify
-      check_discipline stats trace_out flight_dump =
+      check_discipline stats trace_out flight_dump telemetry_out sample_ms =
     match Registry.find workload with
     | None ->
         Printf.eprintf "unknown workload %S (try: racedetect list)\n" workload;
@@ -204,6 +228,13 @@ let run_cmd =
                 Events.Pair_state (d.Discipline.root, det.Detector.root) )
         in
         if trace_out <> None then Sfr_obs.Trace_event.start ();
+        (* telemetry rides along whenever a trace is requested, so the
+           chrome view always gains counter tracks; --telemetry-out adds
+           the JSONL stream on top *)
+        let telemetry_on = telemetry_out <> None || trace_out <> None in
+        if telemetry_on then
+          Sfr_obs.Telemetry.start ~sample_ms ?out:telemetry_out
+            ~probe:Par_exec.probe_metrics ();
         (* latency histograms only fill while profiling is on; --stats is
            the request to see them *)
         if stats then Sfr_obs.Prof.enable ();
@@ -216,6 +247,17 @@ let run_cmd =
                   Par_exec.run ~workers callbacks ~root inst.Workload.program
                   |> fst)
         in
+        (* stop telemetry before the trace is written: the final sample's
+           counter events must land inside the trace buffer *)
+        if telemetry_on then begin
+          Sfr_obs.Telemetry.stop ();
+          match telemetry_out with
+          | Some f ->
+              Printf.printf "wrote telemetry (%d samples) to %s\n"
+                (Sfr_obs.Telemetry.sample_count ())
+                f
+          | None -> ()
+        end;
         (match trace_out with
         | Some f -> (
             Sfr_obs.Trace_event.stop ();
@@ -268,7 +310,133 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ workload $ detector $ scale $ executor $ workers $ inject
-      $ no_verify $ check_discipline $ stats $ trace_out $ flight_dump)
+      $ no_verify $ check_discipline $ stats $ trace_out $ flight_dump
+      $ telemetry_out $ sample_ms)
+
+(* -- metrics-dump / telemetry-lint -------------------------------------- *)
+
+let metrics_dump_cmd =
+  let doc =
+    "Print the metric registry in Prometheus text exposition format \
+     (optionally after exercising a workload to populate it)."
+  in
+  let workload =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "w"; "workload" ] ~docv:"NAME"
+          ~doc:
+            "Run this benchmark (serially, under sf-order) first so the \
+             exposition reflects a real run instead of a cold registry.")
+  in
+  let scale =
+    Arg.(
+      value
+      & opt scale_conv Workload.Small
+      & info [ "s"; "scale" ] ~doc:"Scale: tiny, small, default, large, paper.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Validate the exposition against the text-format grammar and \
+             report the sample-line count on stderr (exit 2 on violation).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write to $(docv) instead of stdout.")
+  in
+  let run workload scale check out =
+    (match workload with
+    | None -> ()
+    | Some name -> (
+        match Registry.find name with
+        | None ->
+            Printf.eprintf "unknown workload %S (try: racedetect list)\n" name;
+            exit 2
+        | Some w ->
+            let inst = w.Workload.instantiate ~inject_race:false scale in
+            (* profiling on, so the latency histogram families render
+               with real buckets instead of empty placeholders *)
+            Sfr_obs.Prof.enable ();
+            let det = Sf_order.make () in
+            Serial_exec.run det.Detector.callbacks ~root:det.Detector.root
+              inst.Workload.program
+            |> ignore));
+    let gauges = Par_exec.probe_metrics () in
+    let text = Sfr_obs.Telemetry.render_prometheus ~gauges () in
+    if check then begin
+      match Sfr_obs.Telemetry.check_prometheus text with
+      | Ok n -> Printf.eprintf "exposition OK: %d sample line(s)\n" n
+      | Error e ->
+          Printf.eprintf "exposition INVALID: %s\n" e;
+          exit 2
+    end;
+    match out with
+    | None -> print_string text
+    | Some f -> (
+        match
+          let oc = open_out f in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc text)
+        with
+        | () -> Printf.eprintf "wrote exposition to %s\n" f
+        | exception Sys_error msg ->
+            Printf.eprintf "cannot write %s: %s\n" f msg;
+            exit 2)
+  in
+  Cmd.v (Cmd.info "metrics-dump" ~doc)
+    Term.(const run $ workload $ scale $ check $ out)
+
+let telemetry_lint_cmd =
+  let doc =
+    "Validate a JSONL telemetry file written by $(b,run --telemetry-out) or \
+     $(b,bench --telemetry-out): header, per-line JSON, required sample \
+     fields. Exit 2 on malformed input, 1 when fewer than --min-samples \
+     samples are present."
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Telemetry JSONL file.")
+  in
+  let min_samples =
+    Arg.(
+      value & opt int 1
+      & info [ "min-samples" ] ~docv:"N"
+          ~doc:"Require at least $(docv) samples.")
+  in
+  let run file min_samples =
+    let text =
+      try
+        let ic = open_in_bin file in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with Sys_error msg ->
+        Printf.eprintf "%s: %s\n" file msg;
+        exit 2
+    in
+    match Sfr_obs.Telemetry.lint_jsonl text with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" file e;
+        exit 2
+    | Ok n ->
+        Printf.printf "%s: %d sample(s), schema %d\n" file n
+          Sfr_obs.Telemetry.schema_version;
+        if n < min_samples then begin
+          Printf.eprintf "expected at least %d sample(s), found %d\n"
+            min_samples n;
+          exit 1
+        end
+  in
+  Cmd.v (Cmd.info "telemetry-lint" ~doc) Term.(const run $ file $ min_samples)
 
 (* -- record / replay / analyze ----------------------------------------- *)
 
@@ -766,4 +934,6 @@ let () =
             replay_cmd;
             analyze_cmd;
             chaos_cmd;
+            metrics_dump_cmd;
+            telemetry_lint_cmd;
           ]))

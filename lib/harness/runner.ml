@@ -6,6 +6,7 @@ module Par_exec = Sfr_runtime.Par_exec
 module Trace = Sfr_runtime.Trace
 module Sim_sched = Sfr_runtime.Sim_sched
 module Stats = Sfr_support.Stats
+module Telemetry = Sfr_obs.Telemetry
 
 type mode =
   | Base
@@ -69,11 +70,18 @@ let time_with ~who ~exec ~warmup ~repeats make_instance mode =
         dt
   in
   (* warmup repeats pay the code/cache/allocator cold costs so the
-     measured samples reflect steady state; their times are discarded *)
+     measured samples reflect steady state; their times are discarded.
+     The marks delimit repeat boundaries in the telemetry timeline, so a
+     utilization dip can be told apart from an inter-repeat gap. *)
   for _ = 1 to warmup do
+    Telemetry.mark "runner.warmup";
     ignore (one ())
   done;
-  let times = List.init repeats (fun _ -> one ()) in
+  let times =
+    List.init repeats (fun _ ->
+        Telemetry.mark "runner.sample";
+        one ())
+  in
   let queries, reach_words, reach_table_words, history_words, max_readers, racy,
       metrics =
     match !last_detector with

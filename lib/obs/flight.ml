@@ -128,8 +128,21 @@ let set_crash_path p = Atomic.set crash_path p
 
 let reset_crash_guard () = Atomic.set crash_dumped false
 
+(* Other observability components (the telemetry sampler's JSONL stream,
+   most importantly) register flush work to run before the process dies
+   with the flight window. Hooks must never raise into the dump path. *)
+let crash_hooks : (unit -> unit) list Atomic.t = Atomic.make []
+
+let add_crash_hook f =
+  let rec loop () =
+    let hooks = Atomic.get crash_hooks in
+    if not (Atomic.compare_and_set crash_hooks hooks (f :: hooks)) then loop ()
+  in
+  loop ()
+
 let crash_dump ~reason =
   if not (Atomic.exchange crash_dumped true) then begin
+    List.iter (fun f -> try f () with _ -> ()) (Atomic.get crash_hooks);
     Format.eprintf "-- flight recorder (%s) ---------------------------@." reason;
     pp_text Format.err_formatter;
     (match Atomic.get crash_path with

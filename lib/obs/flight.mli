@@ -72,6 +72,13 @@ val set_crash_path : string option -> unit
 (** Where {!crash_dump} additionally writes the Chrome JSON; also
     initialized from the [SFR_FLIGHT_DUMP] environment variable. *)
 
+val add_crash_hook : (unit -> unit) -> unit
+(** Register work to run at the start of the first {!crash_dump} —
+    e.g. {!Telemetry} flushing its sample stream so a crash loses no
+    samples. Hooks run in the dumping domain; exceptions they raise are
+    swallowed (the dump must complete). Hooks cannot be removed: keep
+    them idempotent and cheap when their component is inactive. *)
+
 val crash_dump : reason:string -> unit
 (** Dump the recorder to stderr (text) and, when a crash path is set,
     to that file (Chrome JSON). Only the {e first} call per process

@@ -14,6 +14,14 @@
     two concurrently live domains share an ID modulo 128 (domain IDs are
     assigned consecutively, so the first 128 domains of a process are
     always exact; a collision can only lose increments, never crash).
+    Collisions are no longer silent: domain pools that record metrics
+    bracket each domain's lifetime with {!domain_enter}/{!domain_exit},
+    and a slot entered while another live domain holds it bumps the
+    [obs.metrics.slot_collisions] counter (reported by {!snapshot} and
+    {!export}). Only cooperating domains are tracked — a collision with
+    a domain that never called {!domain_enter} (e.g. the main domain)
+    goes uncounted, so the counter is a lower bound on the slots whose
+    increments may have been lost.
 
     Counters are process-global and registered by name (repeated
     registration returns the same counter). Per-run attribution is done
@@ -57,14 +65,49 @@ val buckets : histogram -> (int * int) list
     empty buckets elided; the unbounded overflow bucket reports
     [max_int]. *)
 
+val sum : histogram -> int
+(** Merged sum of every observed value (so exporters can emit an exact
+    Prometheus [_sum] next to the bucket counts). *)
+
+val count : histogram -> int
+(** Merged observation count, folded from per-slot totals — O(slots),
+    without touching the per-bucket matrix. *)
+
 val bucket_index : int -> int
 (** The bucket an observation falls into — exposed so tests can pin the
     boundary behaviour. *)
 
+val percentile_of_buckets : (int * int) list -> float -> int
+(** [percentile_of_buckets buckets q] estimates the [q]-quantile
+    ([0. <= q <= 1.]) of bucketed data as the inclusive upper bound of
+    the bucket in which the cumulative count first reaches
+    [ceil (q * total)] — an upper bound on the true quantile, tight to
+    one power-of-two bucket. [0] when the histogram is empty. *)
+
+type histogram_summary = {
+  h_name : string;
+  h_count : int;
+  h_sum : int;
+  p50 : int;  (** {!percentile_of_buckets} at 0.50 *)
+  p90 : int;
+  p99 : int;
+}
+
+val histogram_summaries : unit -> histogram_summary list
+(** One summary per registered histogram with at least one observation,
+    sorted by name. Reads the process-global registry (absolute values,
+    not per-run deltas). *)
+
+val pp_summaries : Format.formatter -> histogram_summary list -> unit
+(** Aligned [count / p50 / p90 / p99] table, one histogram per line
+    (percentile bounds print as [p50<=N]; an overflow-bucket p99 prints
+    as [inf]). *)
+
 val snapshot : unit -> (string * int) list
 (** Every registered metric, merged, sorted by name. Histograms appear as
-    [name.le<bound>] entries for each non-empty bucket plus a
-    [name.count] total. *)
+    [name.le<bound>] entries for each non-empty bucket plus [name.count]
+    and (when non-empty) [name.sum] totals. Also carries the synthetic
+    [obs.metrics.slot_collisions] entry. *)
 
 val since : (string * int) list -> (string * int) list
 (** [since base] is the current snapshot with [base] subtracted
@@ -90,3 +133,48 @@ val enabled : unit -> bool
 val pp_table : Format.formatter -> (string * int) list -> unit
 (** Render a snapshot as an aligned two-column table, one metric per
     line. *)
+
+(** {1 Typed export}
+
+    The flattened {!snapshot} loses each metric's type; exposition
+    formats that distinguish counters from gauges from histograms
+    (Prometheus, the telemetry sampler) use {!export} instead. *)
+
+type exported =
+  | Exp_counter of string * int  (** [`Sum] counters: monotone totals *)
+  | Exp_gauge of string * int  (** [`Max] counters: current level *)
+  | Exp_histogram of {
+      e_name : string;
+      e_buckets : (int * int) list;  (** as {!buckets}: non-cumulative *)
+      e_count : int;
+      e_sum : int;
+    }
+
+val export : unit -> exported list
+(** Every registered metric with its type, merged and sorted by name;
+    includes the synthetic [obs.metrics.slot_collisions] counter. *)
+
+val quick_export : unit -> (string * [ `Counter | `Gauge ] * int) list
+(** The telemetry sampler's per-tick view: [`Sum] counters and histogram
+    [.count]s as [`Counter], [`Max] counters as [`Gauge]. Unlike
+    {!export} it never merges a histogram's per-bucket matrix and does
+    not sort, so a tick costs one fold of plain-int slots per metric.
+    Unordered. *)
+
+(** {1 Domain lifetime tracking} *)
+
+val domain_enter : unit -> unit
+(** Announce that the calling domain will record metrics. If another
+    live (entered, not yet exited) domain shares this domain's slot
+    (IDs congruent mod 128), the [obs.metrics.slot_collisions] counter
+    is bumped — the increments of the colliding pair may be lost to
+    unsynchronized read-modify-writes. Cold path: call once per domain
+    lifetime, not per increment. *)
+
+val domain_exit : unit -> unit
+(** Release the calling domain's slot claim. Must pair with
+    {!domain_enter} on the same domain. *)
+
+val slot_collisions : unit -> int
+(** Collisions observed so far (also in {!snapshot} / {!export};
+    zeroed by {!reset_all}). *)

@@ -5,7 +5,7 @@
    parallel-construct events (create/get/steal), not per memory access,
    so the lock is not on the detectors' hot path. *)
 
-type phase = Complete | Instant
+type phase = Complete | Instant | Counter
 
 type event = {
   name : string;
@@ -15,6 +15,7 @@ type event = {
   dur : float; (* microseconds; Complete only *)
   pid : int;
   tid : int;
+  args : (string * float) list; (* Counter series; empty otherwise *)
 }
 
 let on = Atomic.make false
@@ -45,11 +46,17 @@ let push e =
 
 let tid () = (Domain.self () :> int)
 
-let emit ?(cat = "sfr") name ph ~ts ~dur =
-  push { name; cat; ph; ts; dur; pid = 1; tid = tid () }
+let emit ?(cat = "sfr") ?(args = []) name ph ~ts ~dur =
+  push { name; cat; ph; ts; dur; pid = 1; tid = tid (); args }
 
 let instant ?cat name =
   if Atomic.get on then emit ?cat name Instant ~ts:(now_us ()) ~dur:0.0
+
+let counter ?(cat = "telemetry") name v =
+  if Atomic.get on then
+    emit ~cat
+      ~args:[ ("value", float_of_int v) ]
+      name Counter ~ts:(now_us ()) ~dur:0.0
 
 let with_span ?cat name f =
   if not (Atomic.get on) then f ()
@@ -88,11 +95,26 @@ let render_event b e =
   Buffer.add_string b "\",\"cat\":\"";
   escape b e.cat;
   Buffer.add_string b "\",\"ph\":\"";
-  Buffer.add_string b (match e.ph with Complete -> "X" | Instant -> "i");
+  Buffer.add_string b
+    (match e.ph with Complete -> "X" | Instant -> "i" | Counter -> "C");
   Buffer.add_string b "\"";
   (match e.ph with
   | Instant -> Buffer.add_string b ",\"s\":\"t\""
-  | Complete -> Buffer.add_string b (Printf.sprintf ",\"dur\":%.3f" e.dur));
+  | Complete -> Buffer.add_string b (Printf.sprintf ",\"dur\":%.3f" e.dur)
+  | Counter -> ());
+  if e.args <> [] then begin
+    (* arg keys pass through the same escaper as names: a control
+       character or quote in a series label must not break the writer *)
+    Buffer.add_string b ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '"';
+        escape b k;
+        Buffer.add_string b (Printf.sprintf "\":%.3f" v))
+      e.args;
+    Buffer.add_char b '}'
+  end;
   Buffer.add_string b
     (Printf.sprintf ",\"ts\":%.3f,\"pid\":%d,\"tid\":%d}" e.ts e.pid e.tid)
 

@@ -11,7 +11,7 @@
     strand create/get/steal — see {!Sfr_runtime.Serial_exec} and
     {!Sfr_runtime.Par_exec}). *)
 
-type phase = Complete | Instant
+type phase = Complete | Instant | Counter
 
 type event = {
   name : string;
@@ -21,6 +21,8 @@ type event = {
   dur : float;  (** microseconds; meaningful for [Complete] only *)
   pid : int;
   tid : int;  (** domain ID *)
+  args : (string * float) list;
+      (** [Counter] series values; empty for spans and instants *)
 }
 
 val start : unit -> unit
@@ -38,6 +40,12 @@ val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
     complete event covering it (also on exception). *)
 
 val instant : ?cat:string -> string -> unit
+
+val counter : ?cat:string -> string -> int -> unit
+(** [counter name v] records a Chrome [ph:"C"] counter event (a sampled
+    value rendered as a filled time-series track under the spans).
+    Default category ["telemetry"]. No-op while collection is off, like
+    {!instant}. *)
 
 val events : unit -> event list
 (** Buffered events in emission order. *)

@@ -3,6 +3,7 @@ type task = unit -> unit
 module Metrics = Sfr_obs.Metrics
 module Trace_event = Sfr_obs.Trace_event
 module Flight = Sfr_obs.Flight
+module Telemetry = Sfr_obs.Telemetry
 module Chaos = Sfr_chaos.Chaos
 
 let m_spawns = Metrics.counter "runtime.spawns"
@@ -74,7 +75,23 @@ module Deque = struct
     in
     Mutex.unlock d.mu;
     r
+
+  (* unlocked racy read for the telemetry probe: head/tail are plain
+     mutable ints, so a sample can be momentarily stale or torn against
+     a concurrent push/pop — clamped, never negative, never a crash *)
+  let depth d = max 0 (d.tail - d.head)
 end
+
+(* Per-worker scheduler statistics, written by the owning worker only
+   (plain mutable ints, no sharing) and only while the telemetry sampler
+   is armed — the disarmed cost at each site is the one atomic load in
+   [Telemetry.armed]. The sampler domain reads them racily, which is the
+   deal every gauge in the telemetry stream makes. *)
+type wstat = {
+  mutable p_tasks : int;
+  mutable p_steals : int;
+  mutable p_idle_spins : int;
+}
 
 type frame = {
   fmu : Mutex.t;
@@ -104,11 +121,71 @@ let set_cur s = Domain.DLS.get cur_key := s
 type sched = {
   cb : Events.callbacks;
   deques : Deque.t array;
+  wstats : wstat array;
   live : int Atomic.t; (* pushed-but-unfinished task closures *)
   quiescent : bool Atomic.t;
   failure : (exn * Printexc.raw_backtrace) option Atomic.t;
       (* first failure wins; its backtrace is preserved to the join *)
 }
+
+(* The scheduler currently executing a [run], if any — the telemetry
+   probe reads it from the sampler domain. *)
+let live_sched : sched option Atomic.t = Atomic.make None
+
+type probe = {
+  workers : int;
+  deque_depths : int array;
+  tasks : int array;
+  steals : int array;
+  idle_spins : int array;
+}
+
+let probe_of_sched s =
+  {
+    workers = Array.length s.deques;
+    deque_depths = Array.map Deque.depth s.deques;
+    tasks = Array.map (fun w -> w.p_tasks) s.wstats;
+    steals = Array.map (fun w -> w.p_steals) s.wstats;
+    idle_spins = Array.map (fun w -> w.p_idle_spins) s.wstats;
+  }
+
+(* [run] freezes its final probe here before clearing [live_sched], so
+   end-of-run consumers (tests, the final telemetry sample's caller) can
+   still reconcile per-worker totals against the Metrics counters. *)
+let last_probe_v : probe option Atomic.t = Atomic.make None
+
+let probe () =
+  match Atomic.get live_sched with
+  | Some s -> Some (probe_of_sched s)
+  | None -> Atomic.get last_probe_v
+
+let last_probe () = Atomic.get last_probe_v
+
+let probe_metrics () =
+  match probe () with
+  | None -> []
+  | Some p ->
+      let sum a = Array.fold_left ( + ) 0 a in
+      let agg =
+        [
+          ("sched.workers", p.workers);
+          ("sched.deque_depth", sum p.deque_depths);
+          ("sched.tasks", sum p.tasks);
+          ("sched.steals", sum p.steals);
+          ("sched.idle_spins", sum p.idle_spins);
+        ]
+      in
+      let per_worker =
+        List.concat
+          (List.init p.workers (fun i ->
+               [
+                 (Printf.sprintf "sched.w%d.deque_depth" i, p.deque_depths.(i));
+                 (Printf.sprintf "sched.w%d.tasks" i, p.tasks.(i));
+                 (Printf.sprintf "sched.w%d.steals" i, p.steals.(i));
+                 (Printf.sprintf "sched.w%d.idle_spins" i, p.idle_spins.(i));
+               ]))
+      in
+      agg @ per_worker
 
 (* Record the first exception (with its backtrace) and let every worker
    observe it: the failure flag doubles as the stop signal, so a raising
@@ -275,6 +352,10 @@ let find_task sched me =
         match Deque.steal_top sched.deques.(victim) with
         | Some t ->
             Metrics.incr m_steals;
+            if Telemetry.armed () then begin
+              let st = sched.wstats.(me) in
+              st.p_steals <- st.p_steals + 1
+            end;
             Trace_event.instant ~cat:"runtime" "steal";
             Flight.note ~arg:victim "steal";
             Chaos.point Chaos.Steal;
@@ -292,6 +373,8 @@ let find_task sched me =
 
 let worker_loop sched me =
   Domain.DLS.set worker_key me;
+  Metrics.domain_enter ();
+  let st = sched.wstats.(me) in
   let idle_spins = ref 0 in
   let continue_ = ref true in
   while !continue_ do
@@ -309,6 +392,7 @@ let worker_loop sched me =
       | Some t ->
           idle_spins := 0;
           Metrics.incr m_tasks;
+          if Telemetry.armed () then st.p_tasks <- st.p_tasks + 1;
           (try
              Chaos.point Chaos.Task;
              Flight.wrap "task" (fun () ->
@@ -318,13 +402,15 @@ let worker_loop sched me =
             Atomic.set sched.quiescent true
       | None ->
           incr idle_spins;
+          if Telemetry.armed () then st.p_idle_spins <- st.p_idle_spins + 1;
           if !idle_spins < 100 then Domain.cpu_relax ()
           else begin
             idle_spins := 0;
             Unix.sleepf 1e-4
           end
     end
-  done
+  done;
+  Metrics.domain_exit ()
 
 let run ?workers cb ~root main =
   let nw =
@@ -337,11 +423,15 @@ let run ?workers cb ~root main =
     {
       cb;
       deques = Array.init nw (fun _ -> Deque.create ());
+      wstats =
+        Array.init nw (fun _ ->
+            { p_tasks = 0; p_steals = 0; p_idle_spins = 0 });
       live = Atomic.make 0;
       quiescent = Atomic.make false;
       failure = Atomic.make None;
     }
   in
+  Atomic.set live_sched (Some sched);
   let result = ref None in
   let final = ref root in
   (* the root task *)
@@ -355,6 +445,11 @@ let run ?workers cb ~root main =
           cb.Events.on_put last;
           result := Some r;
           final := last));
+  Fun.protect ~finally:(fun () ->
+      (* freeze the end-of-run probe before unpublishing the scheduler *)
+      Atomic.set last_probe_v (Some (probe_of_sched sched));
+      Atomic.set live_sched None)
+  @@ fun () ->
   let others = List.init (nw - 1) (fun i -> Domain.spawn (fun () -> worker_loop sched (i + 1))) in
   worker_loop sched 0;
   List.iter Domain.join others;

@@ -33,10 +33,50 @@ module Deque : sig
   val push_bottom : t -> (unit -> unit) -> unit
   val pop_bottom : t -> (unit -> unit) option
   val steal_top : t -> (unit -> unit) option
+
+  val depth : t -> int
+  (** Unlocked racy size estimate for the telemetry probe (clamped to
+      [>= 0]; may be momentarily stale against a concurrent owner). *)
 end
 (** The per-worker deque (owner LIFO bottom, thief FIFO top). Exposed so
     the randomized model test can audit the ring-buffer grow/wraparound
     indexing; not part of the stable API. *)
+
+(** {1 Scheduler probes}
+
+    Telemetry-facing visibility into the running scheduler. Per-worker
+    counters (tasks executed, successful steals, idle spins) are plain
+    ints written only by their owning worker and {e only while}
+    {!Sfr_obs.Telemetry.armed} — the disarmed cost at each scheduling
+    decision is a single atomic flag load. Reads are unsynchronized:
+    a probe taken mid-run can be a few events stale per worker, which is
+    inherent to sampling. *)
+
+type probe = {
+  workers : int;
+  deque_depths : int array;  (** racy per-worker queue depths, now *)
+  tasks : int array;  (** tasks executed per worker this run (armed only) *)
+  steals : int array;  (** successful steals per worker (armed only) *)
+  idle_spins : int array;  (** empty scheduling decisions (armed only) *)
+}
+
+val probe : unit -> probe option
+(** The live scheduler's state, or — between runs — the frozen
+    end-of-run probe of the most recent run ([None] before the first
+    run). Safe from any domain. *)
+
+val last_probe : unit -> probe option
+(** The probe frozen at the end of the most recent completed [run]
+    (even if it failed). Per-worker totals reconcile exactly against the
+    [runtime.tasks] / [runtime.steals] {!Sfr_obs.Metrics} deltas for
+    that run when telemetry was armed throughout. *)
+
+val probe_metrics : unit -> (string * int) list
+(** {!probe} flattened to gauge series for
+    {!Sfr_obs.Telemetry.start}'s [?probe] argument: aggregate
+    [sched.workers], [sched.deque_depth], [sched.tasks],
+    [sched.steals], [sched.idle_spins], then per-worker
+    [sched.w<i>.…] variants. Empty if no run has started. *)
 
 val run :
   ?workers:int ->

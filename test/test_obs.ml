@@ -150,6 +150,53 @@ let test_trace_round_trip () =
             events
       | _ -> Alcotest.fail "no traceEvents array")
 
+(* Regression: control characters in event names and counter-series keys
+   must be escaped by the JSON writer, never emitted raw. *)
+let test_trace_control_char_escaping () =
+  Trace_event.start ();
+  Trace_event.instant ~cat:"test" "name with\nnewline\tand tab";
+  Trace_event.counter ~cat:"test" "series\nname" 7;
+  Trace_event.stop ();
+  let json = Trace_event.to_json_string () in
+  Trace_event.clear ();
+  String.iter
+    (fun c ->
+      if Char.code c < 0x20 then
+        Alcotest.failf "raw control byte 0x%02x in trace JSON" (Char.code c))
+    json;
+  match Json_min.parse json with
+  | Error e -> Alcotest.failf "trace JSON did not parse: %s" e
+  | Ok doc -> (
+      match Json_min.member "traceEvents" doc with
+      | Some (Json_min.Arr events) ->
+          let names =
+            List.filter_map
+              (fun ev ->
+                match Json_min.member "name" ev with
+                | Some (Json_min.Str s) -> Some s
+                | _ -> None)
+              events
+          in
+          check
+            Alcotest.(slist string String.compare)
+            "names decode back with their control chars"
+            [ "name with\nnewline\tand tab"; "series\nname" ]
+            names;
+          let counter =
+            List.find_opt
+              (fun ev ->
+                Json_min.member "ph" ev = Some (Json_min.Str "C"))
+              events
+          in
+          (match counter with
+          | None -> Alcotest.fail "no counter event in trace"
+          | Some ev -> (
+              match Json_min.member "args" ev with
+              | Some (Json_min.Obj [ ("value", Json_min.Num v) ]) ->
+                  check (Alcotest.float 1e-9) "counter value" 7.0 v
+              | _ -> Alcotest.fail "counter args malformed"))
+      | _ -> Alcotest.fail "no traceEvents array")
+
 let test_trace_off_by_default () =
   Trace_event.clear ();
   let v = Trace_event.with_span "ignored" (fun () -> 7) in
@@ -269,6 +316,8 @@ let () =
       ( "trace",
         [
           Alcotest.test_case "round trip" `Quick test_trace_round_trip;
+          Alcotest.test_case "control-char escaping" `Quick
+            test_trace_control_char_escaping;
           Alcotest.test_case "off by default" `Quick test_trace_off_by_default;
         ] );
       ( "json",
