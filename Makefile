@@ -1,4 +1,4 @@
-.PHONY: all build test bench profile perfdiff scaling examples replay-smoke telemetry-smoke clean
+.PHONY: all build test bench profile perfdiff scaling examples replay-smoke telemetry-smoke serve-smoke clean
 
 all: build
 
@@ -55,6 +55,24 @@ telemetry-smoke:
 	dune exec bin/racedetect.exe -- telemetry-lint /tmp/telemetry.jsonl --min-samples 2; \
 	dune exec bin/racedetect.exe -- metrics-dump -w mm -s tiny --check > /tmp/metrics.prom; \
 	rm -f /tmp/telemetry.jsonl /tmp/telemetry_profile.json /tmp/metrics.prom
+
+serve-smoke:
+	dune build bin/racedetect.exe
+	@set -e; \
+	sock=/tmp/serve_smoke.sock; rm -f $$sock /tmp/serve_smoke.log; \
+	dune exec bin/racedetect.exe -- serve --socket $$sock \
+	  --max-sessions 4 --stats > /tmp/serve_smoke.log 2>&1 & \
+	srv=$$!; \
+	for i in $$(seq 1 100); do [ -S $$sock ] && break; sleep 0.1; done; \
+	[ -S $$sock ] || { echo "serve-smoke: daemon never listened" >&2; exit 2; }; \
+	dune exec bin/racedetect.exe -- stress-client --socket $$sock \
+	  --workload mm --sessions 4 --torn 1; \
+	wait $$srv; \
+	cat /tmp/serve_smoke.log; \
+	grep -q "served 4 session(s)" /tmp/serve_smoke.log; \
+	grep -q "ERR_TORN" /tmp/serve_smoke.log; \
+	echo "serve-smoke: 4 sessions served (1 torn), clean shutdown"; \
+	rm -f /tmp/serve_smoke.log $$sock
 
 clean:
 	dune clean

@@ -301,6 +301,93 @@ let eventlog ~scale ~repeats =
     logs
 
 (* ---------------------------------------------------------------- *)
+(* serve ingest throughput                                            *)
+(* ---------------------------------------------------------------- *)
+
+(* Events/second through the streaming ingest server as concurrent
+   client sessions scale. Loopback transport (no sockets): each client
+   domain drives its own connection, and with pool_domains = 0 the
+   detection work runs on the calling client's domain — so N clients
+   measure N concurrent end-to-end framed-ingest + detection pipelines
+   through one shared server (per-connection locks, shared budget). *)
+let serve_bench ~scale ~repeats ~clients_axis =
+  let module Server = Sfr_serve.Server in
+  let module Session = Sfr_serve.Session in
+  let module Loopback = Sfr_serve.Loopback in
+  let module Serial_exec = Sfr_runtime.Serial_exec in
+  let w =
+    match Sfr_workloads.Registry.find "mm" with
+    | Some w -> w
+    | None -> failwith "mm workload missing"
+  in
+  let inst = w.Workload.instantiate ~inject_race:false scale in
+  let path = Filename.temp_file "sfr_serve" ".sflog" in
+  let rec_, cb, root = Sfr_eventlog.Recorder.create ~path () in
+  let () = Serial_exec.run cb ~root inst.Workload.program |> fst in
+  let summary = Sfr_eventlog.Recorder.close rec_ in
+  let image =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        really_input_string ic (in_channel_length ic) |> Bytes.of_string)
+  in
+  Sys.remove path;
+  let events = summary.Sfr_eventlog.Recorder.events in
+  let bytes = Bytes.length image in
+  Printf.printf
+    "Serve ingest throughput (scale %s, log %d bytes / %d events, best of \
+     %d, %d core(s)):\n"
+    (Format.asprintf "%a" Workload.pp_scale scale)
+    bytes events (max 1 repeats)
+    (Domain.recommended_domain_count ());
+  Printf.printf "  %8s %10s %14s %12s\n" "clients" "time (s)" "events/s"
+    "MB/s";
+  let best f =
+    let ts =
+      List.init (max 1 repeats) (fun _ ->
+          let _, dt = Sfr_support.Stats.time f in
+          dt)
+    in
+    List.fold_left Float.min Float.infinity ts
+  in
+  List.iter
+    (fun clients ->
+      let dt =
+        best (fun () ->
+            let server =
+              Server.create
+                {
+                  Server.session = Session.default_config;
+                  global_budget = 64 * 1024 * 1024;
+                  overload = Server.Shed;
+                  pool_domains = 0;
+                  defer_ingest = false;
+                }
+            in
+            let doms =
+              List.init clients (fun _ ->
+                  Domain.spawn (fun () ->
+                      let c = Loopback.connect server in
+                      Loopback.run_log c image))
+            in
+            List.iter Domain.join doms;
+            let outcomes = Server.outcomes server in
+            Server.shutdown server;
+            if List.length outcomes <> clients then
+              failwith
+                (Printf.sprintf "serve bench: %d outcomes for %d clients"
+                   (List.length outcomes) clients))
+      in
+      let total_events = float_of_int (events * clients) in
+      let total_mb =
+        float_of_int (bytes * clients) /. (1024.0 *. 1024.0)
+      in
+      Printf.printf "  %8d %10.4f %14.0f %12.2f\n%!" clients dt
+        (total_events /. dt) (total_mb /. dt))
+    clients_axis
+
+(* ---------------------------------------------------------------- *)
 (* chaos soak                                                         *)
 (* ---------------------------------------------------------------- *)
 
@@ -362,7 +449,7 @@ let usage () =
   prerr_endline
     "usage: main.exe [fig3|fig4|fig5|sweep|ablation-locks|ablation-sets|\n\
     \                 ablation-readers|ablation-history|scaling|profile|\n\
-    \                 prof-overhead|micro|eventlog|soak|all]\n\
+    \                 prof-overhead|micro|eventlog|serve|soak|all]\n\
     \                [--scale tiny|small|default|large|paper] [--repeats N]\n\
     \                [--workers P] [--seeds N] [--domains N,N,...]\n\
     \                [--trace-out FILE] [--telemetry-out FILE] [--sample-ms N]\n\
@@ -485,6 +572,7 @@ let () =
     | "prof-overhead" -> prof_overhead ()
     | "micro" -> micro ()
     | "eventlog" -> eventlog ~scale ~repeats
+    | "serve" -> serve_bench ~scale ~repeats ~clients_axis:!domains
     | "soak" -> soak ~seeds ~workers:(min workers 8)
     | "all" ->
         List.iter

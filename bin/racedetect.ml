@@ -14,6 +14,11 @@
      racedetect analyze mm.trace
      racedetect metrics-dump [--workload mm] [--check] [-o FILE]
      racedetect telemetry-lint t.jsonl [--min-samples N]
+     racedetect serve --socket /tmp/rd.sock [--budget BYTES]
+                      [--overload shed|park|block] [--pool N] [--shards N]
+                      [--deadline-ms N] [--idle-ms N] [--max-sessions N]
+     racedetect stress-client --socket /tmp/rd.sock --workload mm
+                      --sessions 4 [--torn 1] [--over-budget 1] [--idle 1]
 
    Exit codes are uniform across subcommands (see README "Exit codes"):
    0 = clean, 1 = races detected / verification or expectation failed
@@ -920,6 +925,575 @@ let chaos_cmd =
       const run $ seeds $ base_seed $ ops $ depth $ locs $ detector $ workers
       $ no_chaos $ fault_rate $ shrink $ out $ stats)
 
+(* -- serve / stress-client ---------------------------------------------- *)
+
+module Serve = Sfr_serve.Server
+module Serve_frame = Sfr_serve.Frame
+module Serve_session = Sfr_serve.Session
+
+(* Both commands address the daemon the same way. *)
+let addr_of ~socket ~tcp =
+  match (socket, tcp) with
+  | Some path, None -> Ok (Unix.ADDR_UNIX path)
+  | None, Some port -> Ok (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+  | _ -> Error "exactly one of --socket PATH or --tcp PORT is required"
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  (try
+     while !off < len do
+       off := !off + Unix.write fd bytes !off (len - !off)
+     done
+   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+     (* peer hung up; its disconnect surfaces through the read path *)
+     ())
+
+let serve_cmd =
+  let doc =
+    "Run the streaming ingest daemon: concurrent clients stream .sflog \
+     bytes over a Unix or TCP socket and receive per-session race \
+     verdicts. Exits 1 when any served session reported races, 2 on a \
+     fatal server error."
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a Unix domain socket.")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT" ~doc:"Listen on loopback TCP $(docv).")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt int (4 * 1024 * 1024)
+      & info [ "budget" ] ~docv:"BYTES"
+          ~doc:"Global byte budget across all session queues.")
+  in
+  let overload =
+    Arg.(
+      value
+      & opt (enum [ ("shed", Serve.Shed); ("park", Serve.Park); ("block", Serve.Block) ])
+          Serve.Shed
+      & info [ "overload" ]
+          ~doc:
+            "Policy when the budget is exceeded: shed (finish the offending \
+             session with ERR_OVERLOAD), park (freeze credit until \
+             pressure halves), or block (refuse new sessions).")
+  in
+  let credit_window =
+    Arg.(
+      value
+      & opt int (256 * 1024)
+      & info [ "credit-window" ] ~docv:"BYTES"
+          ~doc:"Per-session in-flight byte window (bounds each queue).")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-session wall-clock deadline (ERR_DEADLINE, retryable).")
+  in
+  let idle_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "idle-ms" ] ~docv:"MS"
+          ~doc:"Per-session idle timeout (ERR_IDLE, retryable).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Location-sharded access checking per session, as replay.")
+  in
+  let pool =
+    Arg.(
+      value & opt int 0
+      & info [ "pool" ] ~docv:"N"
+          ~doc:
+            "Detection pool domains (0 = analyze inline in the accept loop).")
+  in
+  let max_sessions =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:"Exit after $(docv) sessions have finished (smoke tests).")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print serve metric counters on exit.")
+  in
+  let run socket tcp budget overload credit_window deadline_ms idle_ms shards
+      pool max_sessions stats =
+    let addr =
+      match addr_of ~socket ~tcp with
+      | Ok a -> a
+      | Error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 2
+    in
+    let listen_fd =
+      try
+        let domain = Unix.domain_of_sockaddr addr in
+        let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+        (match addr with
+        | Unix.ADDR_UNIX path when Sys.file_exists path -> Unix.unlink path
+        | _ -> ());
+        if domain = Unix.PF_INET then Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd addr;
+        Unix.listen fd 64;
+        fd
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "cannot listen: %s\n" (Unix.error_message e);
+        exit 2
+    in
+    (* a client that vanishes mid-write must not kill the daemon *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let cfg =
+      {
+        Serve.session =
+          {
+            Serve_session.credit_window;
+            deadline_ms;
+            idle_ms;
+            shards;
+            access_batch = 8192;
+          };
+        global_budget = budget;
+        overload;
+        pool_domains = pool;
+        defer_ingest = false;
+      }
+    in
+    let server = Serve.create cfg in
+    Printf.printf "serving on %s (budget %dB, %s, pool %d)\n%!"
+      (match addr with
+      | Unix.ADDR_UNIX p -> p
+      | Unix.ADDR_INET (_, port) -> Printf.sprintf "tcp:%d" port)
+      budget
+      (Serve.overload_to_string overload)
+      pool;
+    let clients : (Unix.file_descr, Serve.conn) Hashtbl.t = Hashtbl.create 16 in
+    let buf = Bytes.create 65536 in
+    let accepted = ref 0 in
+    let running = ref true in
+    let fatal = ref None in
+    (try
+       while !running do
+         let accepting =
+           match max_sessions with Some m -> !accepted < m | None -> true
+         in
+         let fds =
+           (if accepting then [ listen_fd ] else [])
+           @ Hashtbl.fold (fun fd _ acc -> fd :: acc) clients []
+         in
+         let readable, _, _ =
+           match Unix.select fds [] [] 0.05 with
+           | r -> r
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+         in
+         List.iter
+           (fun fd ->
+             if fd = listen_fd then begin
+               let cfd, _ = Unix.accept listen_fd in
+               incr accepted;
+               let conn = Serve.connect server ~send:(write_all cfd) in
+               Hashtbl.replace clients cfd conn
+             end
+             else
+               match Hashtbl.find_opt clients fd with
+               | None -> ()
+               | Some conn -> (
+                   match Unix.read fd buf 0 (Bytes.length buf) with
+                   | 0 | (exception Unix.Unix_error _) ->
+                       Hashtbl.remove clients fd;
+                       (try Unix.close fd with Unix.Unix_error _ -> ());
+                       Serve.on_disconnect server conn
+                   | n -> Serve.on_bytes server conn buf ~pos:0 ~len:n))
+           readable;
+         Serve.tick server;
+         (match max_sessions with
+         | Some m when List.length (Serve.outcomes server) >= m ->
+             running := false
+         | _ -> ())
+       done
+     with e ->
+       Sfr_obs.Flight.crash_dump
+         ~reason:(Printf.sprintf "serve: %s" (Printexc.to_string e));
+       fatal := Some (Printexc.to_string e));
+    Serve.quiesce server;
+    Serve.shutdown server;
+    Hashtbl.iter
+      (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
+      clients;
+    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+    (match addr with
+    | Unix.ADDR_UNIX path when Sys.file_exists path -> (
+        try Unix.unlink path with Unix.Unix_error _ -> ())
+    | _ -> ());
+    let outcomes = Serve.outcomes server in
+    List.iter
+      (fun (o : Serve_session.outcome) ->
+        Printf.printf
+          "session %d: %s races=%d events=%d bytes=%d%s%s\n"
+          o.Serve_session.session
+          (Serve_frame.reply_code_name o.Serve_session.code)
+          o.Serve_session.races o.Serve_session.events
+          o.Serve_session.bytes_analyzed
+          (if Serve_frame.retryable o.Serve_session.code then " (retryable)"
+           else "")
+          (if o.Serve_session.message = "" then ""
+           else ": " ^ o.Serve_session.message))
+      outcomes;
+    Printf.printf "served %d session(s)\n" (List.length outcomes);
+    if stats then begin
+      print_endline "-- metrics ----------------------------------------";
+      print_string
+        (Format.asprintf "%a" Sfr_obs.Metrics.pp_table
+           (List.filter
+              (fun (n, _) -> String.length n >= 5 && String.sub n 0 5 = "serve")
+              (Sfr_obs.Metrics.snapshot ())))
+    end;
+    match !fatal with
+    | Some msg ->
+        Printf.eprintf "FATAL: %s\n" msg;
+        exit 2
+    | None ->
+        if
+          List.exists
+            (fun (o : Serve_session.outcome) ->
+              o.Serve_session.code = Serve_frame.Ok_races)
+            outcomes
+        then exit 1
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket $ tcp $ budget $ overload $ credit_window
+      $ deadline_ms $ idle_ms $ shards $ pool $ max_sessions $ stats)
+
+(* One stress-client session: its own socket, its own behaviour mode. *)
+type stress_mode = M_healthy | M_torn | M_over_budget | M_idle
+
+let stress_mode_name = function
+  | M_healthy -> "healthy"
+  | M_torn -> "torn"
+  | M_over_budget -> "over-budget"
+  | M_idle -> "idle"
+
+type stress_result = {
+  sr_index : int;
+  sr_mode : stress_mode;
+  sr_reply : Serve_frame.frame option;  (** terminal, if one arrived *)
+  sr_error : string option;
+}
+
+let stress_session ~addr ~image ~frame ~idle_park_s index mode =
+  let fd =
+    Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0
+  in
+  match Unix.connect fd addr with
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      {
+        sr_index = index;
+        sr_mode = mode;
+        sr_reply = None;
+        sr_error = Some (Unix.error_message e);
+      }
+  | () ->
+      let dec = Serve_frame.decoder () in
+      let credit = ref 0 in
+      let window = ref 0 in
+      let terminal = ref None in
+      let rbuf = Bytes.create 65536 in
+      let peer_gone = ref false in
+      (* Drain whatever the server has sent; [block] waits up to 100 ms. *)
+      let pump_replies ~block =
+        let readable, _, _ =
+          try Unix.select [ fd ] [] [] (if block then 0.1 else 0.0)
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        in
+        if readable <> [] then begin
+          match Unix.read fd rbuf 0 (Bytes.length rbuf) with
+          | 0 | (exception Unix.Unix_error _) -> peer_gone := true
+          | n ->
+              Serve_frame.decoder_feed dec rbuf ~pos:0 ~len:n;
+              let continue_ = ref true in
+              while !continue_ do
+                match Serve_frame.decoder_next dec with
+                | Ok (Some f) -> (
+                    match f with
+                    | Serve_frame.Welcome { credit = c; _ } ->
+                        credit := !credit + c;
+                        window := c
+                    | Serve_frame.Credit c -> credit := !credit + c
+                    | Serve_frame.Verdict _ | Serve_frame.Reject _ ->
+                        terminal := Some f
+                    | _ -> ())
+                | Ok None | Error _ -> continue_ := false
+              done
+        end
+      in
+      let send frame_v = write_all fd (Serve_frame.to_bytes frame_v) in
+      let wait_terminal ~timeout_s =
+        let t0 = Unix.gettimeofday () in
+        while
+          !terminal = None && (not !peer_gone)
+          && Unix.gettimeofday () -. t0 < timeout_s
+        do
+          pump_replies ~block:true
+        done
+      in
+      send (Serve_frame.Hello { version = Serve_frame.protocol_version });
+      let len = Bytes.length image in
+      (match mode with
+      | M_healthy ->
+          let sent = ref 0 in
+          while !sent < len && !terminal = None && not !peer_gone do
+            if !credit <= 0 then pump_replies ~block:true
+            else begin
+              let n = min frame (min !credit (len - !sent)) in
+              send (Serve_frame.Data (Bytes.sub image !sent n));
+              credit := !credit - n;
+              sent := !sent + n;
+              pump_replies ~block:false
+            end
+          done;
+          if !terminal = None && not !peer_gone then begin
+            send Serve_frame.Close;
+            wait_terminal ~timeout_s:30.0
+          end
+      | M_torn ->
+          (* stream roughly half, then tear the connection mid-frame *)
+          let target = max 1 (len / 2) in
+          let sent = ref 0 in
+          while !sent < target && !terminal = None && not !peer_gone do
+            if !credit <= 0 then pump_replies ~block:true
+            else begin
+              let n = min frame (min !credit (target - !sent)) in
+              send (Serve_frame.Data (Bytes.sub image !sent n));
+              credit := !credit - n;
+              sent := !sent + n;
+              pump_replies ~block:false
+            end
+          done;
+          (* half a frame header: the server sees a truncated uplink *)
+          write_all fd (Bytes.make 1 '\x02')
+      | M_over_budget ->
+          (* hostile: one DATA frame bigger than the whole credit window —
+             a deterministic overrun no matter how fast ingest drains *)
+          let t0 = Unix.gettimeofday () in
+          while
+            !window = 0 && (not !peer_gone)
+            && Unix.gettimeofday () -. t0 < 10.0
+          do
+            pump_replies ~block:true
+          done;
+          let n = !window + 1 in
+          let payload = Bytes.create n in
+          for i = 0 to n - 1 do
+            Bytes.set payload i (Bytes.get image (i mod len))
+          done;
+          send (Serve_frame.Data payload);
+          wait_terminal ~timeout_s:30.0
+      | M_idle ->
+          (* a trickle, then silence past the server's idle timeout *)
+          pump_replies ~block:true;
+          let n = min frame (min (max 1 !credit) len) in
+          send (Serve_frame.Data (Bytes.sub image 0 n));
+          let t0 = Unix.gettimeofday () in
+          while
+            !terminal = None && (not !peer_gone)
+            && Unix.gettimeofday () -. t0 < idle_park_s
+          do
+            pump_replies ~block:true
+          done;
+          wait_terminal ~timeout_s:30.0);
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      { sr_index = index; sr_mode = mode; sr_reply = !terminal; sr_error = None }
+
+let stress_client_cmd =
+  let doc =
+    "Stress a running $(b,serve) daemon: stream a recorded workload log \
+     over N concurrent sessions, optionally making some misbehave (tear \
+     mid-frame, ignore credit, go idle) to exercise the typed error \
+     paths. Exits 1 when any session's reply deviates from its mode's \
+     expectation, 2 on connection failures."
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon Unix socket.")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT" ~doc:"Daemon loopback TCP port.")
+  in
+  let workload =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Benchmark to record and stream.")
+  in
+  let scale =
+    Arg.(
+      value
+      & opt scale_conv Workload.Tiny
+      & info [ "s"; "scale" ] ~doc:"Scale: tiny, small, default, large, paper.")
+  in
+  let inject =
+    Arg.(value & flag & info [ "inject-race" ] ~doc:"Plant a determinacy race.")
+  in
+  let sessions =
+    Arg.(
+      value & opt int 4
+      & info [ "sessions" ] ~docv:"N" ~doc:"Concurrent sessions.")
+  in
+  let torn =
+    Arg.(
+      value & opt int 0
+      & info [ "torn" ] ~docv:"K" ~doc:"Sessions that tear mid-frame.")
+  in
+  let over_budget =
+    Arg.(
+      value & opt int 0
+      & info [ "over-budget" ] ~docv:"K"
+          ~doc:"Sessions that ignore credit (expect ERR_PROTOCOL/ERR_OVERLOAD).")
+  in
+  let idle =
+    Arg.(
+      value & opt int 0
+      & info [ "idle" ] ~docv:"K"
+          ~doc:"Sessions that go silent (expect ERR_IDLE; give the daemon \
+                --idle-ms).")
+  in
+  let idle_park_s =
+    Arg.(
+      value & opt float 5.0
+      & info [ "idle-park-s" ] ~docv:"S"
+          ~doc:"How long idle sessions stay silent before giving up.")
+  in
+  let frame =
+    Arg.(
+      value & opt int 4096
+      & info [ "frame" ] ~docv:"BYTES" ~doc:"DATA frame payload size.")
+  in
+  let run socket tcp workload scale inject sessions torn over_budget idle
+      idle_park_s frame =
+    let addr =
+      match addr_of ~socket ~tcp with
+      | Ok a -> a
+      | Error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 2
+    in
+    if torn + over_budget + idle > sessions then begin
+      Printf.eprintf "--torn + --over-budget + --idle exceed --sessions\n";
+      exit 2
+    end;
+    let w =
+      match Registry.find workload with
+      | Some w -> w
+      | None ->
+          Printf.eprintf "unknown workload %S (try: racedetect list)\n" workload;
+          exit 2
+    in
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    (* record once, stream the same image from every session *)
+    let tmp = Filename.temp_file "stress" ".sflog" in
+    let image =
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+        (fun () ->
+          let inst = w.Workload.instantiate ~inject_race:inject scale in
+          let rec_, cb, root = Sfr_eventlog.Recorder.create ~path:tmp () in
+          ignore (Serial_exec.run cb ~root inst.Workload.program);
+          ignore (Sfr_eventlog.Recorder.close rec_);
+          let ic = open_in_bin tmp in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () ->
+              let n = in_channel_length ic in
+              really_input_string ic n |> Bytes.of_string))
+    in
+    Printf.printf "streaming %d-byte log x %d session(s) (%d torn, %d \
+                   over-budget, %d idle)\n%!"
+      (Bytes.length image) sessions torn over_budget idle;
+    let mode_of i =
+      if i < torn then M_torn
+      else if i < torn + over_budget then M_over_budget
+      else if i < torn + over_budget + idle then M_idle
+      else M_healthy
+    in
+    let domains =
+      List.init sessions (fun i ->
+          Domain.spawn (fun () ->
+              stress_session ~addr ~image ~frame ~idle_park_s i (mode_of i)))
+    in
+    let results = List.map Domain.join domains in
+    let failures = ref 0 in
+    List.iter
+      (fun r ->
+        let describe =
+          match r.sr_reply with
+          | Some (Serve_frame.Verdict { code; races; events; bytes_analyzed; _ })
+            ->
+              Printf.sprintf "%s races=%d events=%d bytes=%d"
+                (Serve_frame.reply_code_name code)
+                races events bytes_analyzed
+          | Some (Serve_frame.Reject { code; _ }) ->
+              Printf.sprintf "REJECT %s" (Serve_frame.reply_code_name code)
+          | Some f -> Format.asprintf "%a" Serve_frame.pp f
+          | None -> "no terminal reply"
+        in
+        let ok =
+          match (r.sr_error, r.sr_mode, r.sr_reply) with
+          | Some _, _, _ -> false
+          | None, M_healthy, Some (Serve_frame.Verdict { code; _ }) ->
+              code = Serve_frame.Ok_clean || code = Serve_frame.Ok_races
+          | None, M_torn, _ ->
+              (* tore the uplink on purpose; the server-side verdict is
+                 checked by the daemon, not here *)
+              true
+          | None, M_over_budget, Some (Serve_frame.Verdict { code; _ }) ->
+              code = Serve_frame.Err_protocol
+              || code = Serve_frame.Err_overload
+          | None, M_over_budget, Some (Serve_frame.Reject { code; _ }) ->
+              code = Serve_frame.Err_overload
+          | None, M_idle, Some (Serve_frame.Verdict { code; _ }) ->
+              code = Serve_frame.Err_idle
+          | _ -> false
+        in
+        if not ok then incr failures;
+        (match r.sr_error with
+        | Some e ->
+            Printf.printf "client %d (%s): CONNECT FAILED: %s\n" r.sr_index
+              (stress_mode_name r.sr_mode) e
+        | None ->
+            Printf.printf "client %d (%s): %s%s\n" r.sr_index
+              (stress_mode_name r.sr_mode) describe
+              (if ok then "" else " [UNEXPECTED]")))
+      results;
+    if List.exists (fun r -> r.sr_error <> None) results then exit 2;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "stress-client" ~doc)
+    Term.(
+      const run $ socket $ tcp $ workload $ scale $ inject $ sessions $ torn
+      $ over_budget $ idle $ idle_park_s $ frame)
+
 let () =
   let doc = "on-the-fly determinacy race detection for structured futures" in
   let info = Cmd.info "racedetect" ~version:"1.0.0" ~doc in
@@ -936,4 +1510,6 @@ let () =
             chaos_cmd;
             metrics_dump_cmd;
             telemetry_lint_cmd;
+            serve_cmd;
+            stress_client_cmd;
           ]))

@@ -9,6 +9,10 @@ let m_yields = Metrics.counter "chaos.yields"
 let m_delays = Metrics.counter "chaos.delays"
 let m_injected = Metrics.counter "chaos.injected"
 let m_force_steals = Metrics.counter "chaos.force_steals"
+let m_wire_truncate = Metrics.counter "chaos.wire.truncate"
+let m_wire_duplicate = Metrics.counter "chaos.wire.duplicate"
+let m_wire_corrupt = Metrics.counter "chaos.wire.corrupt"
+let m_wire_disconnect = Metrics.counter "chaos.wire.disconnect"
 
 type site =
   | Spawn
@@ -21,9 +25,13 @@ type site =
   | Task
   | Record
   | Log_flush
+  | Wire
 
 let all_sites =
-  [ Spawn; Create; Get; Sync; Steal; Lock_acquire; Relabel; Task; Record; Log_flush ]
+  [
+    Spawn; Create; Get; Sync; Steal; Lock_acquire; Relabel; Task; Record;
+    Log_flush; Wire;
+  ]
 
 let nsites = List.length all_sites
 
@@ -38,6 +46,7 @@ let site_index = function
   | Task -> 7
   | Record -> 8
   | Log_flush -> 9
+  | Wire -> 10
 
 let site_name = function
   | Spawn -> "spawn"
@@ -50,6 +59,7 @@ let site_name = function
   | Task -> "task"
   | Record -> "record"
   | Log_flush -> "log_flush"
+  | Wire -> "wire"
 
 type action = Pass | Yield | Delay of int | Fault | Force_steal
 
@@ -73,6 +83,7 @@ type config = {
   delay_rate : float;
   fault_rate : float;
   steal_rate : float;
+  wire_rate : float;
   max_delay_spins : int;
   fault_sites : site list;
   max_faults : int;
@@ -84,6 +95,7 @@ let default_config =
     delay_rate = 0.05;
     fault_rate = 0.0;
     steal_rate = 0.25;
+    wire_rate = 0.0;
     max_delay_spins = 4096;
     fault_sites = [ Task; Spawn; Create; Get; Sync ];
     max_faults = 1;
@@ -92,11 +104,26 @@ let default_config =
 let fault_config =
   { default_config with fault_rate = 0.02; max_faults = 1 }
 
+type wire_fault =
+  | Wire_pass
+  | Wire_truncate of int
+  | Wire_duplicate
+  | Wire_corrupt of int
+  | Wire_disconnect
+
+let wire_fault_name = function
+  | Wire_pass -> "pass"
+  | Wire_truncate _ -> "truncate"
+  | Wire_duplicate -> "duplicate"
+  | Wire_corrupt _ -> "corrupt"
+  | Wire_disconnect -> "disconnect"
+
 type state = {
   seed : int;
   config : config;
   seqs : int Atomic.t array; (* per-site arrival counters *)
   steal_seq : int Atomic.t; (* force_steal has its own stream *)
+  wire_seq : int Atomic.t; (* wire faults have their own stream *)
   fault_budget : int Atomic.t; (* remaining faults allowed *)
   raised : int Atomic.t; (* faults actually raised *)
   mu : Mutex.t;
@@ -115,6 +142,7 @@ let arm ?(config = default_config) ~seed () =
       config;
       seqs = Array.init nsites (fun _ -> Atomic.make 0);
       steal_seq = Atomic.make 0;
+      wire_seq = Atomic.make 0;
       fault_budget = Atomic.make config.max_faults;
       raised = Atomic.make 0;
       mu = Mutex.create ();
@@ -204,6 +232,41 @@ let slow_force_steal () =
       else false
 
 let[@inline] force_steal () = Atomic.get on && slow_force_steal ()
+
+(* Wire faults perturb the *transport*, not the computation: the k-th
+   frame crossing an armed loopback draws the same verdict on every run
+   (its own stream, like force_steal). [frame_len] parameterizes the
+   truncation point / corrupted byte so the fault always lands inside
+   the frame image. *)
+let slow_wire_fault ~frame_len =
+  match Atomic.get armed_state with
+  | None -> Wire_pass
+  | Some st ->
+      let seq = Atomic.fetch_and_add st.wire_seq 1 in
+      let rng =
+        Prng.create (st.seed lxor 0x27D4_EB2F lxor ((seq + 1) * 0x165667B1))
+      in
+      if Prng.float rng 1.0 >= st.config.wire_rate then Wire_pass
+      else begin
+        let fault =
+          match Prng.int rng 4 with
+          | 0 -> Wire_truncate (Prng.int rng (max 1 frame_len))
+          | 1 -> Wire_duplicate
+          | 2 -> Wire_corrupt (Prng.int rng (max 1 frame_len))
+          | _ -> Wire_disconnect
+        in
+        record st Wire seq Fault;
+        (match fault with
+        | Wire_truncate _ -> Metrics.incr m_wire_truncate
+        | Wire_duplicate -> Metrics.incr m_wire_duplicate
+        | Wire_corrupt _ -> Metrics.incr m_wire_corrupt
+        | Wire_disconnect -> Metrics.incr m_wire_disconnect
+        | Wire_pass -> ());
+        fault
+      end
+
+let[@inline] wire_fault ~frame_len =
+  if Atomic.get on then slow_wire_fault ~frame_len else Wire_pass
 
 let trace () =
   match Atomic.get armed_state with

@@ -36,6 +36,9 @@ type site =
   | Task  (** a scheduled task is about to run *)
   | Record  (** an event-log structural record is being appended *)
   | Log_flush  (** an event-log buffer is about to flush to the file *)
+  | Wire
+      (** a protocol frame is crossing a (loopback) transport — decided
+          through {!wire_fault}, not {!point} *)
 
 val all_sites : site list
 val site_name : site -> string
@@ -53,6 +56,8 @@ type config = {
   delay_rate : float;  (** P(busy delay) per point *)
   fault_rate : float;  (** P(raise {!Injected}) per point at fault sites *)
   steal_rate : float;  (** P([force_steal] returns true) *)
+  wire_rate : float;
+      (** P({!wire_fault} mangles a frame); 0 in the default configs *)
   max_delay_spins : int;  (** upper bound on one delay's spin count *)
   fault_sites : site list;
       (** sites where [Fault] may fire. Keep {!Steal}, {!Lock_acquire} and
@@ -96,6 +101,33 @@ val force_steal : unit -> bool
 (** Scheduler decision hook: [true] tells the worker to try stealing
     before popping its own deque, forcing help-first schedules that
     rarely arise naturally. Never raises. *)
+
+(** {2 Wire faults}
+
+    Transport-level mangling for the frame protocol of
+    [Sfr_serve]: the deterministic loopback harness asks before
+    delivering each frame and applies the drawn fault to the frame's
+    byte image — no real sockets needed to exercise torn frames, CRC
+    corruption, duplication, and mid-frame disconnects. *)
+
+type wire_fault =
+  | Wire_pass  (** deliver untouched *)
+  | Wire_truncate of int
+      (** deliver only the first [n] bytes, then nothing more of this
+          frame ([n < frame_len]) *)
+  | Wire_duplicate  (** deliver the frame twice *)
+  | Wire_corrupt of int  (** flip a bit of the byte at this offset *)
+  | Wire_disconnect  (** drop the frame and hang up mid-stream *)
+
+val wire_fault_name : wire_fault -> string
+
+val wire_fault : frame_len:int -> wire_fault
+(** Draw the next wire decision ([Wire_pass] while disarmed, and with
+    probability [1 - wire_rate] while armed). Deterministic per
+    [(seed, arrival index)] like every other stream; truncation points
+    and corruption offsets land in [\[0, frame_len)]. Recorded in the
+    campaign {!trace} at site {!Wire} with action [Fault]. Never
+    raises. *)
 
 val trace : unit -> (site * int * action) list
 (** Non-[Pass] decisions of the current (or last) campaign, sorted by

@@ -1,0 +1,314 @@
+open Log_format
+
+type summary = { s_events : int; s_states : int; s_workers : int }
+
+(* [In_chunk] means [lo] points at the next undecoded payload byte of a
+   chunk with [remaining] payload bytes still expected (possibly not all
+   fed yet). [At_chunk] means [lo] points at a chunk tag (or the footer
+   tag). *)
+type phase =
+  | Header
+  | At_chunk
+  | In_chunk of { worker : int; mutable remaining : int }
+  | Done of summary
+  | Failed of Log_format.error
+
+type t = {
+  max_workers : int;
+  mutable data : Bytes.t;
+  mutable lo : int;  (** first unconsumed byte in [data] *)
+  mutable hi : int;  (** end of fed bytes in [data] *)
+  mutable abs_lo : int;  (** absolute stream offset of [data.(lo)] *)
+  mutable phase : phase;
+  mutable crc : int;  (** accumulated over consumed payload bytes *)
+  mutable last_locs : int array;  (** per-worker delta base *)
+  mutable n_workers_seen : int;
+  mutable max_sid : int;  (** largest state ID referenced or defined *)
+  mutable events : int;
+}
+
+let create ?(max_workers = 1024) () =
+  {
+    max_workers;
+    data = Bytes.create 4096;
+    lo = 0;
+    hi = 0;
+    abs_lo = 0;
+    phase = Header;
+    crc = crc32_init;
+    last_locs = Array.make 4 0;
+    n_workers_seen = 0;
+    max_sid = 0;
+    events = 0;
+  }
+
+let consumed t = t.abs_lo
+let buffered t = t.hi - t.lo
+let events_decoded t = t.events
+let finished t = match t.phase with Done s -> Some s | _ -> None
+
+let fail t e =
+  t.phase <- Failed e;
+  (* drop the buffer: nothing further will be decoded *)
+  t.lo <- 0;
+  t.hi <- 0;
+  Error e
+
+(* Errors from [Log_format] readers carry buffer-relative offsets; remap
+   them to absolute stream offsets before surfacing. *)
+let remap t = function
+  | Truncated { offset; while_ } ->
+      Truncated { offset = offset - t.lo + t.abs_lo; while_ }
+  | Bad_varint { offset } -> Bad_varint { offset = offset - t.lo + t.abs_lo }
+  | Bad_opcode { offset; opcode } ->
+      Bad_opcode { offset = offset - t.lo + t.abs_lo; opcode }
+  | State_out_of_range { offset; id; bound } ->
+      State_out_of_range { offset = offset - t.lo + t.abs_lo; id; bound }
+  | Corrupt { offset; what } ->
+      Corrupt { offset = offset - t.lo + t.abs_lo; what }
+  | (Bad_magic _ | Bad_version _ | Bad_crc _) as e -> e
+
+let feed t bytes ~pos ~len =
+  if len < 0 || pos < 0 || pos + len > Bytes.length bytes then
+    invalid_arg "Stream_reader.feed: bad slice";
+  match t.phase with
+  | Failed _ -> ()
+  | _ ->
+      let cap = Bytes.length t.data in
+      if t.hi + len > cap then begin
+        let live = t.hi - t.lo in
+        if live + len <= cap / 2 then begin
+          (* compact in place: plenty of room once the consumed prefix
+             goes *)
+          Bytes.blit t.data t.lo t.data 0 live;
+          t.lo <- 0;
+          t.hi <- live
+        end
+        else begin
+          let cap' = max (cap * 2) (live + len) in
+          let data' = Bytes.create cap' in
+          Bytes.blit t.data t.lo data' 0 live;
+          t.data <- data';
+          t.lo <- 0;
+          t.hi <- live
+        end
+      end;
+      Bytes.blit bytes pos t.data t.hi len;
+      t.hi <- t.hi + len
+
+(* Consume [n] bytes at [lo] (already decoded). *)
+let advance t n =
+  t.lo <- t.lo + n;
+  t.abs_lo <- t.abs_lo + n
+
+let track_sid t ev =
+  List.iter (fun id -> if id > t.max_sid then t.max_sid <- id) (inputs ev);
+  List.iter (fun id -> if id > t.max_sid then t.max_sid <- id) (defines ev)
+
+let ensure_worker t w =
+  if w >= Array.length t.last_locs then begin
+    let a = Array.make (max (w + 1) (2 * Array.length t.last_locs)) 0 in
+    Array.blit t.last_locs 0 a 0 (Array.length t.last_locs);
+    t.last_locs <- a
+  end;
+  if w >= t.n_workers_seen then t.n_workers_seen <- w + 1
+
+let drain t =
+  let acc = ref [] in
+  let rec loop () =
+    match t.phase with
+    | Failed e -> Error e
+    | Done _ ->
+        if t.hi > t.lo then
+          fail t
+            (Corrupt { offset = t.abs_lo; what = "trailing bytes after footer" })
+        else Ok ()
+    | Header ->
+        let need = String.length magic + 1 in
+        if t.hi - t.lo < need then Ok ()
+        else if Bytes.sub_string t.data t.lo (String.length magic) <> magic
+        then
+          fail t
+            (Bad_magic
+               { got = Bytes.sub_string t.data t.lo (String.length magic) })
+        else
+          let v = Char.code (Bytes.get t.data (t.lo + String.length magic)) in
+          if v <> version then fail t (Bad_version { got = v })
+          else begin
+            advance t need;
+            t.phase <- At_chunk;
+            loop ()
+          end
+    | At_chunk ->
+        if t.hi = t.lo then Ok ()
+        else begin
+          let tag = Char.code (Bytes.get t.data t.lo) in
+          if tag = 1 then
+            match read_varint t.data ~pos:(t.lo + 1) ~limit:t.hi with
+            | Error (Truncated _) -> Ok () (* chunk header split: wait *)
+            | Error e -> fail t (remap t e)
+            | Ok (worker, p) -> (
+                match read_varint t.data ~pos:p ~limit:t.hi with
+                | Error (Truncated _) -> Ok ()
+                | Error e -> fail t (remap t e)
+                | Ok (plen, p) ->
+                    if worker >= t.max_workers then
+                      fail t
+                        (Corrupt
+                           {
+                             offset = t.abs_lo + 1;
+                             what =
+                               Printf.sprintf
+                                 "implausible worker id %d (limit %d)" worker
+                                 t.max_workers;
+                           })
+                    else begin
+                      ensure_worker t worker;
+                      advance t (p - t.lo);
+                      t.phase <- In_chunk { worker; remaining = plen };
+                      loop ()
+                    end)
+          else if tag = 0 then
+            match read_varint t.data ~pos:(t.lo + 1) ~limit:t.hi with
+            | Error (Truncated _) -> Ok ()
+            | Error e -> fail t (remap t e)
+            | Ok (n_events, p) -> (
+                match read_varint t.data ~pos:p ~limit:t.hi with
+                | Error (Truncated _) -> Ok ()
+                | Error e -> fail t (remap t e)
+                | Ok (n_states, p) -> (
+                    match read_varint t.data ~pos:p ~limit:t.hi with
+                    | Error (Truncated _) -> Ok ()
+                    | Error e -> fail t (remap t e)
+                    | Ok (n_workers, p) ->
+                        if p + 4 > t.hi then Ok ()
+                        else
+                          let expected =
+                            Char.code (Bytes.get t.data p)
+                            lor (Char.code (Bytes.get t.data (p + 1)) lsl 8)
+                            lor (Char.code (Bytes.get t.data (p + 2)) lsl 16)
+                            lor (Char.code (Bytes.get t.data (p + 3)) lsl 24)
+                          in
+                          let footer_off = t.abs_lo in
+                          advance t (p + 4 - t.lo);
+                          if expected <> t.crc then
+                            fail t (Bad_crc { expected; got = t.crc })
+                          else if n_states < 1 then
+                            fail t
+                              (Corrupt
+                                 {
+                                   offset = footer_off;
+                                   what = "footer declares no states";
+                                 })
+                          else if n_events <> t.events then
+                            fail t
+                              (Corrupt
+                                 {
+                                   offset = footer_off;
+                                   what =
+                                     Printf.sprintf
+                                       "footer declares %d events, stream \
+                                        decoded %d"
+                                       n_events t.events;
+                                 })
+                          else if t.n_workers_seen > n_workers then
+                            fail t
+                              (Corrupt
+                                 {
+                                   offset = footer_off;
+                                   what =
+                                     Printf.sprintf
+                                       "chunks name %d worker stream(s) but \
+                                        footer declares %d"
+                                       t.n_workers_seen n_workers;
+                                 })
+                          else if t.max_sid >= n_states then
+                            fail t
+                              (State_out_of_range
+                                 {
+                                   offset = footer_off;
+                                   id = t.max_sid;
+                                   bound = n_states;
+                                 })
+                          else begin
+                            t.phase <-
+                              Done
+                                {
+                                  s_events = n_events;
+                                  s_states = n_states;
+                                  s_workers = n_workers;
+                                };
+                            loop ()
+                          end))
+          else fail t (Bad_opcode { offset = t.abs_lo; opcode = tag })
+        end
+    | In_chunk ic ->
+        if ic.remaining = 0 then begin
+          t.phase <- At_chunk;
+          loop ()
+        end
+        else begin
+          let available = t.hi - t.lo in
+          if available = 0 then Ok ()
+          else
+            let limit = t.lo + min ic.remaining available in
+            (* the stream's own state bound arrives with the footer;
+               decode with the loosest bound and validate then *)
+            match
+              read_event t.data ~pos:t.lo ~limit
+                ~last_loc:t.last_locs.(ic.worker) ~states:max_int
+            with
+            | Ok (ev, p, last_loc) ->
+                t.crc <- crc32_update t.crc t.data ~pos:t.lo ~len:(p - t.lo);
+                ic.remaining <- ic.remaining - (p - t.lo);
+                advance t (p - t.lo);
+                t.last_locs.(ic.worker) <- last_loc;
+                track_sid t ev;
+                t.events <- t.events + 1;
+                acc := (ic.worker, ev) :: !acc;
+                if ic.remaining = 0 then t.phase <- At_chunk;
+                loop ()
+            | Error (Truncated _) when available < ic.remaining ->
+                Ok () (* event split across feeds: wait *)
+            | Error (Truncated { offset; _ }) ->
+                (* the event ran past the chunk's declared payload end *)
+                fail t
+                  (Corrupt
+                     {
+                       offset = offset - t.lo + t.abs_lo;
+                       what = "event record spans a chunk boundary";
+                     })
+            | Error e -> fail t (remap t e)
+        end
+  in
+  match loop () with Ok () -> Ok (List.rev !acc) | Error e -> Error e
+
+let finish t =
+  match drain t with
+  | Error e -> Error e
+  | Ok _late_events -> (
+      (* events surfacing only at finish are lost to the caller, but a
+         caller that stopped draining has already abandoned the stream *)
+      match t.phase with
+      | Done s when t.hi = t.lo -> Ok s
+      | Done _ ->
+          (* unreachable: drain latches trailing bytes as Corrupt *)
+          Error
+            (Corrupt { offset = t.abs_lo; what = "trailing bytes after footer" })
+      | Failed e -> Error e
+      | Header ->
+          fail t (Truncated { offset = t.abs_lo + buffered t; while_ = "reading header" })
+      | At_chunk ->
+          fail t
+            (Truncated
+               {
+                 offset = t.abs_lo + buffered t;
+                 while_ = "expecting chunk or footer";
+               })
+      | In_chunk _ ->
+          fail t
+            (Truncated
+               {
+                 offset = t.abs_lo + buffered t;
+                 while_ = "stream closed mid-chunk";
+               }))

@@ -1,0 +1,82 @@
+(** Incremental race detection over a streaming .sflog prefix.
+
+    The offline pipeline ({!Replay} / {!Shard_replay}) needs the complete
+    log before it runs. This module keeps a {!Stream_reader}, a growable
+    state table, and a live SF-Order instance, and applies events with
+    the same greedy topological merge as {!Replay.drive} — but
+    {e resumably}: feed bytes, {!step} applies every event that became
+    ready, and the race report is inspectable at any prefix. For a log
+    recorded serially (one worker stream) the applied order is forced,
+    so the verdict on a cleanly closed stream is byte-identical to
+    offline [replay] of the same file.
+
+    Two checking modes:
+    - [~shards:1] (default): accesses are checked inline by the SF-Order
+      callbacks, exactly as a live run would.
+    - [~shards:n > 1]: structural events build reachability; access
+      events accumulate in per-shard (location-hash) batches that are
+      checked on [n] domains whenever a batch threshold fills — the
+      streaming form of {!Shard_replay}. The merge of per-shard reports
+      is deterministic and equals the offline sharded verdict on the
+      same complete log. Shard checks are synchronous with {!step}
+      (structure never advances while shard domains query it), so no
+      cross-domain synchronization is needed beyond the join.
+
+    Nothing here raises on bad input: decode errors, logical
+    inconsistencies, and detector failures ({!Sfr_detect.Detect_error})
+    all land in the {!verdict}'s typed status. *)
+
+type status =
+  | Complete  (** clean footer, every event applied *)
+  | Torn of Log_format.error
+      (** the stream stopped or corrupted mid-log; the verdict covers
+          the analyzed prefix *)
+  | Inconsistent of Replay.error
+      (** CRC-clean but logically broken (stuck / redefined state) *)
+  | Detector_failed of string
+      (** the detector rejected the stream (e.g. a foreign state) *)
+
+val status_to_string : status -> string
+
+type verdict = {
+  status : status;
+  reports : Sfr_detect.Race.report list;  (** sorted by location *)
+  racy_locations : int list;
+  events_applied : int;
+  bytes_analyzed : int;
+      (** absolute prefix fully decoded — "analyzed up to byte N" *)
+  queries : int;  (** reachability queries so far *)
+}
+
+type t
+
+val create : ?shards:int -> ?access_batch:int -> unit -> t
+(** [access_batch] (default 8192, sharded mode only) is the pending
+    access count that triggers a parallel shard check.
+    @raise Invalid_argument if [shards < 1]. *)
+
+val feed : t -> Bytes.t -> pos:int -> len:int -> unit
+(** Buffer incoming stream bytes. Cheap; no detection happens here. *)
+
+val step : t -> unit
+(** Decode what the fed bytes allow and apply every event whose inputs
+    are defined. Call after [feed]; amortized cost is proportional to
+    the bytes consumed. Errors latch into the eventual verdict instead
+    of raising. *)
+
+val close : t -> abrupt:bool -> verdict
+(** Final verdict. [~abrupt:true] marks a disconnect without a clean
+    end-of-stream: a stream that nevertheless decoded to a complete,
+    fully-applied log is still [Complete]; otherwise the status is
+    [Torn] with the exact analyzed prefix. [~abrupt:false] demands a
+    validated footer and full application. Idempotent — the first
+    verdict is cached and returned thereafter. *)
+
+val partial : t -> verdict
+(** Verdict-so-far without closing (status [Torn (Truncated _)] if the
+    stream were to stop here, unless an error already latched). Sharded
+    mode flushes pending access batches so the report is current. *)
+
+val events_applied : t -> int
+
+val bytes_analyzed : t -> int

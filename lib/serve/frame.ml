@@ -1,0 +1,318 @@
+module Log_format = Sfr_eventlog.Log_format
+
+let protocol_version = 1
+
+type reply_code =
+  | Ok_clean
+  | Ok_races
+  | Err_torn
+  | Err_inconsistent
+  | Err_detector
+  | Err_protocol
+  | Err_overload
+  | Err_deadline
+  | Err_idle
+
+let reply_code_to_int = function
+  | Ok_clean -> 0
+  | Ok_races -> 1
+  | Err_torn -> 10
+  | Err_inconsistent -> 11
+  | Err_detector -> 12
+  | Err_protocol -> 13
+  | Err_overload -> 20
+  | Err_deadline -> 21
+  | Err_idle -> 22
+
+let reply_code_of_int = function
+  | 0 -> Some Ok_clean
+  | 1 -> Some Ok_races
+  | 10 -> Some Err_torn
+  | 11 -> Some Err_inconsistent
+  | 12 -> Some Err_detector
+  | 13 -> Some Err_protocol
+  | 20 -> Some Err_overload
+  | 21 -> Some Err_deadline
+  | 22 -> Some Err_idle
+  | _ -> None
+
+let reply_code_name = function
+  | Ok_clean -> "OK_CLEAN"
+  | Ok_races -> "OK_RACES"
+  | Err_torn -> "ERR_TORN"
+  | Err_inconsistent -> "ERR_INCONSISTENT"
+  | Err_detector -> "ERR_DETECTOR"
+  | Err_protocol -> "ERR_PROTOCOL"
+  | Err_overload -> "ERR_OVERLOAD"
+  | Err_deadline -> "ERR_DEADLINE"
+  | Err_idle -> "ERR_IDLE"
+
+let retryable = function
+  | Err_overload | Err_deadline | Err_idle -> true
+  | Ok_clean | Ok_races | Err_torn | Err_inconsistent | Err_detector
+  | Err_protocol ->
+      false
+
+type frame =
+  | Hello of { version : int }
+  | Data of Bytes.t
+  | Close
+  | Welcome of { session : int; credit : int }
+  | Credit of int
+  | Verdict of {
+      code : reply_code;
+      races : int;
+      events : int;
+      bytes_analyzed : int;
+      message : string;
+    }
+  | Reject of { code : reply_code; message : string }
+
+let pp fmt = function
+  | Hello { version } -> Format.fprintf fmt "HELLO(v%d)" version
+  | Data b -> Format.fprintf fmt "DATA(%d bytes)" (Bytes.length b)
+  | Close -> Format.fprintf fmt "CLOSE"
+  | Welcome { session; credit } ->
+      Format.fprintf fmt "WELCOME(session=%d credit=%d)" session credit
+  | Credit n -> Format.fprintf fmt "CREDIT(%d)" n
+  | Verdict { code; races; events; bytes_analyzed; message } ->
+      Format.fprintf fmt "VERDICT(%s races=%d events=%d bytes=%d%s)"
+        (reply_code_name code) races events bytes_analyzed
+        (if message = "" then "" else " " ^ message)
+  | Reject { code; message } ->
+      Format.fprintf fmt "REJECT(%s%s)" (reply_code_name code)
+        (if message = "" then "" else " " ^ message)
+
+(* -- wire tags ---------------------------------------------------------- *)
+
+let tag_hello = 0x01
+let tag_data = 0x02
+let tag_close = 0x03
+let tag_welcome = 0x10
+let tag_credit = 0x11
+let tag_verdict = 0x12
+let tag_reject = 0x13
+
+(* -- encoding ----------------------------------------------------------- *)
+
+let write_string payload s =
+  Log_format.write_varint payload (String.length s);
+  Buffer.add_string payload s
+
+let encode buf frame =
+  let payload = Buffer.create 64 in
+  let tag =
+    match frame with
+    | Hello { version } ->
+        Log_format.write_varint payload version;
+        tag_hello
+    | Data b ->
+        Buffer.add_bytes payload b;
+        tag_data
+    | Close -> tag_close
+    | Welcome { session; credit } ->
+        Log_format.write_varint payload session;
+        Log_format.write_varint payload credit;
+        tag_welcome
+    | Credit n ->
+        Log_format.write_varint payload n;
+        tag_credit
+    | Verdict { code; races; events; bytes_analyzed; message } ->
+        Log_format.write_varint payload (reply_code_to_int code);
+        Log_format.write_varint payload races;
+        Log_format.write_varint payload events;
+        Log_format.write_varint payload bytes_analyzed;
+        write_string payload message;
+        tag_verdict
+    | Reject { code; message } ->
+        Log_format.write_varint payload (reply_code_to_int code);
+        write_string payload message;
+        tag_reject
+  in
+  Buffer.add_char buf (Char.chr tag);
+  let body = Buffer.to_bytes payload in
+  let len = Bytes.length body in
+  Log_format.write_varint buf len;
+  Buffer.add_bytes buf body;
+  let crc = Log_format.crc32_update Log_format.crc32_init body ~pos:0 ~len in
+  Buffer.add_char buf (Char.chr (crc land 0xFF));
+  Buffer.add_char buf (Char.chr ((crc lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr ((crc lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((crc lsr 24) land 0xFF))
+
+let to_bytes frame =
+  let buf = Buffer.create 64 in
+  encode buf frame;
+  Buffer.to_bytes buf
+
+(* -- incremental decoding ----------------------------------------------- *)
+
+type error =
+  | Bad_tag of int
+  | Bad_crc of { expected : int; got : int }
+  | Too_large of { len : int; limit : int }
+  | Malformed of { tag : int; what : string }
+
+let error_to_string = function
+  | Bad_tag t -> Printf.sprintf "unknown frame tag 0x%02x" t
+  | Bad_crc { expected; got } ->
+      Printf.sprintf "frame CRC mismatch: expected %08x, got %08x" expected got
+  | Too_large { len; limit } ->
+      Printf.sprintf "frame length %d exceeds limit %d" len limit
+  | Malformed { tag; what } ->
+      Printf.sprintf "malformed frame payload (tag 0x%02x): %s" tag what
+
+type decoder = {
+  max_frame : int;
+  mutable data : Bytes.t;  (** compacting window, valid in [lo, hi) *)
+  mutable lo : int;
+  mutable hi : int;
+  mutable failed : error option;
+}
+
+let decoder ?(max_frame = 4 * 1024 * 1024) () =
+  { max_frame; data = Bytes.create 4096; lo = 0; hi = 0; failed = None }
+
+let decoder_buffered d = d.hi - d.lo
+
+let decoder_feed d bytes ~pos ~len =
+  if len < 0 || pos < 0 || pos + len > Bytes.length bytes then
+    invalid_arg "Frame.decoder_feed";
+  let need = d.hi - d.lo + len in
+  if d.hi + len > Bytes.length d.data then begin
+    let cap = max need (2 * Bytes.length d.data) in
+    let data =
+      if cap > Bytes.length d.data then Bytes.create cap else d.data
+    in
+    Bytes.blit d.data d.lo data 0 (d.hi - d.lo);
+    d.hi <- d.hi - d.lo;
+    d.lo <- 0;
+    d.data <- data
+  end;
+  Bytes.blit bytes pos d.data d.hi len;
+  d.hi <- d.hi + len
+
+(* Decode one whole payload whose length and CRC already checked out. *)
+let decode_payload tag body =
+  let limit = Bytes.length body in
+  let varint pos =
+    match Log_format.read_varint body ~pos ~limit with
+    | Ok (v, next) -> Ok (v, next)
+    | Error _ -> Error (Malformed { tag; what = "bad varint" })
+  in
+  let string_ pos =
+    match varint pos with
+    | Error e -> Error e
+    | Ok (len, next) ->
+        if len < 0 || next + len > limit then
+          Error (Malformed { tag; what = "string overruns payload" })
+        else Ok (Bytes.sub_string body next len, next + len)
+  in
+  let exact pos frame =
+    if pos = limit then Ok frame
+    else Error (Malformed { tag; what = "trailing payload bytes" })
+  in
+  let reply pos =
+    match varint pos with
+    | Error e -> Error e
+    | Ok (c, next) -> (
+        match reply_code_of_int c with
+        | Some code -> Ok (code, next)
+        | None ->
+            Error (Malformed { tag; what = Printf.sprintf "unknown reply code %d" c }))
+  in
+  if tag = tag_hello then
+    match varint 0 with
+    | Error e -> Error e
+    | Ok (version, p) -> exact p (Hello { version })
+  else if tag = tag_data then Ok (Data body)
+  else if tag = tag_close then exact 0 Close
+  else if tag = tag_welcome then
+    match varint 0 with
+    | Error e -> Error e
+    | Ok (session, p) -> (
+        match varint p with
+        | Error e -> Error e
+        | Ok (credit, p) -> exact p (Welcome { session; credit }))
+  else if tag = tag_credit then
+    match varint 0 with
+    | Error e -> Error e
+    | Ok (n, p) -> exact p (Credit n)
+  else if tag = tag_verdict then
+    match reply 0 with
+    | Error e -> Error e
+    | Ok (code, p) -> (
+        match varint p with
+        | Error e -> Error e
+        | Ok (races, p) -> (
+            match varint p with
+            | Error e -> Error e
+            | Ok (events, p) -> (
+                match varint p with
+                | Error e -> Error e
+                | Ok (bytes_analyzed, p) -> (
+                    match string_ p with
+                    | Error e -> Error e
+                    | Ok (message, p) ->
+                        exact p
+                          (Verdict { code; races; events; bytes_analyzed; message })))))
+  else if tag = tag_reject then
+    match reply 0 with
+    | Error e -> Error e
+    | Ok (code, p) -> (
+        match string_ p with
+        | Error e -> Error e
+        | Ok (message, p) -> exact p (Reject { code; message }))
+  else Error (Bad_tag tag)
+
+let decoder_next d =
+  match d.failed with
+  | Some e -> Error e
+  | None ->
+      if d.hi - d.lo < 1 then Ok None
+      else begin
+        let tag = Char.code (Bytes.get d.data d.lo) in
+        match Log_format.read_varint d.data ~pos:(d.lo + 1) ~limit:d.hi with
+        | Error (Log_format.Truncated _) -> Ok None
+        | Error _ ->
+            let e = Malformed { tag; what = "unreadable length varint" } in
+            d.failed <- Some e;
+            Error e
+        | Ok (len, body_pos) ->
+            if len > d.max_frame then begin
+              let e = Too_large { len; limit = d.max_frame } in
+              d.failed <- Some e;
+              Error e
+            end
+            else if body_pos + len + 4 > d.hi then Ok None
+            else begin
+              let body = Bytes.sub d.data body_pos len in
+              let crc_pos = body_pos + len in
+              let got =
+                Char.code (Bytes.get d.data crc_pos)
+                lor (Char.code (Bytes.get d.data (crc_pos + 1)) lsl 8)
+                lor (Char.code (Bytes.get d.data (crc_pos + 2)) lsl 16)
+                lor (Char.code (Bytes.get d.data (crc_pos + 3)) lsl 24)
+              in
+              let expected =
+                Log_format.crc32_update Log_format.crc32_init body ~pos:0 ~len
+              in
+              if got <> expected then begin
+                let e = Bad_crc { expected; got } in
+                d.failed <- Some e;
+                Error e
+              end
+              else begin
+                d.lo <- crc_pos + 4;
+                if d.lo = d.hi then begin
+                  d.lo <- 0;
+                  d.hi <- 0
+                end;
+                match decode_payload tag body with
+                | Ok frame -> Ok (Some frame)
+                | Error e ->
+                    d.failed <- Some e;
+                    Error e
+              end
+            end
+      end

@@ -1,0 +1,93 @@
+(** The racedetect-serve wire protocol: length-prefixed, CRC-checked
+    frames carrying .sflog chunk streams and typed replies.
+
+    {v
+    stream ::= frame*
+    frame  ::= tag (1 byte) | len:varint | payload (len bytes)
+             | crc32(payload) (4 bytes, little-endian)
+    v}
+
+    Varints and CRC-32 are {!Sfr_eventlog.Log_format}'s codecs — the
+    same 7-bit groups and polynomial as the log format the payloads
+    carry. Client-to-server tags: [0x01 HELLO] (protocol version),
+    [0x02 DATA] (a slice of the session's .sflog byte stream, cut
+    anywhere — frame boundaries need not align with log chunks),
+    [0x03 CLOSE] (clean end of stream). Server-to-client: [0x10
+    WELCOME] (session id + initial credit), [0x11 CREDIT] (more bytes
+    granted), [0x12 VERDICT] (terminal per-session result), [0x13
+    REJECT] (terminal refusal before or instead of a verdict).
+
+    Every terminal reply carries a {!reply_code} from the table
+    mirrored in the README: clients branch on the code, not the
+    message. *)
+
+val protocol_version : int
+
+(** Typed per-session reply codes. The numeric values are wire format —
+    never renumber, only append. *)
+type reply_code =
+  | Ok_clean  (** 0 — complete log, no races *)
+  | Ok_races  (** 1 — complete log, races reported *)
+  | Err_torn  (** 10 — stream ended or corrupted mid-log; verdict covers the analyzed prefix *)
+  | Err_inconsistent  (** 11 — CRC-clean log that is logically broken *)
+  | Err_detector  (** 12 — detector rejected the stream *)
+  | Err_protocol  (** 13 — frame-level violation (bad tag/CRC/order, credit exceeded) *)
+  | Err_overload  (** 20 — shed under the global byte budget; retry later *)
+  | Err_deadline  (** 21 — session exceeded its wall-clock deadline *)
+  | Err_idle  (** 22 — no frame within the idle timeout *)
+
+val reply_code_to_int : reply_code -> int
+val reply_code_of_int : int -> reply_code option
+val reply_code_name : reply_code -> string
+
+val retryable : reply_code -> bool
+(** True for the load/time codes (20–22): the same stream may succeed
+    on a later attempt. False for the data-dependent codes — resending
+    a torn file tears again. *)
+
+type frame =
+  | Hello of { version : int }
+  | Data of Bytes.t
+  | Close
+  | Welcome of { session : int; credit : int }
+  | Credit of int
+  | Verdict of {
+      code : reply_code;
+      races : int;  (** racy locations *)
+      events : int;  (** events applied *)
+      bytes_analyzed : int;
+      message : string;
+    }
+  | Reject of { code : reply_code; message : string }
+
+val pp : Format.formatter -> frame -> unit
+
+val encode : Buffer.t -> frame -> unit
+
+val to_bytes : frame -> Bytes.t
+(** One frame's complete wire image. *)
+
+(** {1 Incremental decoding} *)
+
+type error =
+  | Bad_tag of int
+  | Bad_crc of { expected : int; got : int }
+  | Too_large of { len : int; limit : int }
+  | Malformed of { tag : int; what : string }
+
+val error_to_string : error -> string
+
+type decoder
+
+val decoder : ?max_frame:int -> unit -> decoder
+(** [max_frame] (default 4 MiB) bounds the length a frame header may
+    declare — a hostile varint must not make the decoder buffer
+    unboundedly. *)
+
+val decoder_feed : decoder -> Bytes.t -> pos:int -> len:int -> unit
+
+val decoder_next : decoder -> (frame option, error) result
+(** [Ok None] = need more bytes. Errors are sticky: a poisoned stream
+    stays poisoned. *)
+
+val decoder_buffered : decoder -> int

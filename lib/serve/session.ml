@@ -1,0 +1,347 @@
+module Stream_replay = Sfr_eventlog.Stream_replay
+module Race = Sfr_detect.Race
+module Metrics = Sfr_obs.Metrics
+module Flight = Sfr_obs.Flight
+
+let m_frames_in = Metrics.counter "serve.frames.in"
+let m_frames_out = Metrics.counter "serve.frames.out"
+let m_bytes_in = Metrics.counter "serve.bytes.in"
+let m_credit_granted = Metrics.counter "serve.credit.granted"
+let m_credit_violations = Metrics.counter "serve.credit.violations"
+let m_protocol_errors = Metrics.counter "serve.protocol.errors"
+
+type config = {
+  credit_window : int;
+  deadline_ms : int option;
+  idle_ms : int option;
+  shards : int;
+  access_batch : int;
+}
+
+let default_config =
+  {
+    credit_window = 256 * 1024;
+    deadline_ms = None;
+    idle_ms = None;
+    shards = 1;
+    access_batch = 8192;
+  }
+
+type outcome = {
+  session : int;
+  code : Frame.reply_code;
+  races : int;
+  events : int;
+  bytes_analyzed : int;
+  message : string;
+  reports : Race.report list;
+}
+
+let verdict_frame o =
+  Frame.Verdict
+    {
+      code = o.code;
+      races = o.races;
+      events = o.events;
+      bytes_analyzed = o.bytes_analyzed;
+      message = o.message;
+    }
+
+type phase = Awaiting_hello | Streaming | Finished
+
+type t = {
+  sid : int;
+  cfg : config;
+  decoder : Frame.decoder;
+  replay : Stream_replay.t;
+  queue : Bytes.t Queue.t;  (** accepted DATA payloads, not yet ingested *)
+  mutable queued : int;
+  mutable credit : int;  (** bytes the client may still send *)
+  mutable grant_credit : bool;
+  mutable phase : phase;
+  mutable close_received : bool;
+  mutable result : outcome option;
+  started : int;
+  mutable last_activity : int;
+}
+
+let create ~id ~now_ms cfg =
+  if cfg.credit_window < 1 then
+    invalid_arg "Session.create: credit_window must be >= 1";
+  Flight.note ~arg:id "serve.session.open";
+  {
+    sid = id;
+    cfg;
+    decoder = Frame.decoder ();
+    replay =
+      Stream_replay.create ~shards:cfg.shards ~access_batch:cfg.access_batch ();
+    queue = Queue.create ();
+    queued = 0;
+    credit = 0;
+    grant_credit = true;
+    phase = Awaiting_hello;
+    close_received = false;
+    result = None;
+    started = now_ms;
+    last_activity = now_ms;
+  }
+
+let id t = t.sid
+let finished t = t.phase = Finished
+let outcome t = t.result
+let queued_bytes t = t.queued
+let last_activity_ms t = t.last_activity
+let started_ms t = t.started
+let awaiting_hello t = t.phase = Awaiting_hello
+
+let needs_ingest t =
+  t.phase <> Finished && (t.queued > 0 || t.close_received)
+
+type effect_ = {
+  send : Frame.frame list;
+  accepted : int;
+  released : int;
+  finished : bool;
+}
+
+let no_effect = { send = []; accepted = 0; released = 0; finished = false }
+
+let merge a b =
+  {
+    send = a.send @ b.send;
+    accepted = a.accepted + b.accepted;
+    released = a.released + b.released;
+    finished = a.finished || b.finished;
+  }
+
+let set_grant_credit t v = t.grant_credit <- v
+
+let replenish_credit t =
+  if t.phase <> Streaming || t.close_received || not t.grant_credit then
+    no_effect
+  else begin
+    let grant = t.cfg.credit_window - t.credit - t.queued in
+    if grant > 0 then begin
+      t.credit <- t.credit + grant;
+      Metrics.add m_credit_granted grant;
+      Metrics.incr m_frames_out;
+      { no_effect with send = [ Frame.Credit grant ] }
+    end
+    else no_effect
+  end
+
+(* Latch an outcome: the one-and-only terminal transition. Any payloads
+   still queued are dropped and surfaced as [released] so the server's
+   global byte accounting stays exact. *)
+let latch t o reply =
+  match t.result with
+  | Some _ -> no_effect
+  | None ->
+      t.result <- Some o;
+      t.phase <- Finished;
+      let released = t.queued in
+      Queue.clear t.queue;
+      t.queued <- 0;
+      Flight.note ~arg:t.sid "serve.session.finish";
+      Metrics.incr m_frames_out;
+      { send = [ reply ]; accepted = 0; released; finished = true }
+
+(* Terminal with a typed non-verdict code: REJECT before the session
+   ever streamed (no stats worth reporting), partial-stats VERDICT
+   after. *)
+let finish_code t code message =
+  if t.phase = Awaiting_hello then
+    latch t
+      {
+        session = t.sid;
+        code;
+        races = 0;
+        events = 0;
+        bytes_analyzed = 0;
+        message;
+        reports = [];
+      }
+      (Frame.Reject { code; message })
+  else begin
+    let v = Stream_replay.partial t.replay in
+    let o =
+      {
+        session = t.sid;
+        code;
+        races = List.length v.Stream_replay.racy_locations;
+        events = v.Stream_replay.events_applied;
+        bytes_analyzed = v.Stream_replay.bytes_analyzed;
+        message;
+        reports = v.Stream_replay.reports;
+      }
+    in
+    latch t o (verdict_frame o)
+  end
+
+(* Terminal driven by the stream's own verdict (clean CLOSE, or abrupt
+   disconnect after draining what arrived). *)
+let finish_with_verdict t (v : Stream_replay.verdict) extra_message =
+  let code, message =
+    match v.Stream_replay.status with
+    | Stream_replay.Complete ->
+        if v.Stream_replay.racy_locations = [] then (Frame.Ok_clean, "")
+        else (Frame.Ok_races, "")
+    | Stream_replay.Torn e ->
+        ( Frame.Err_torn,
+          Printf.sprintf "%s; analyzed prefix up to byte %d%s"
+            (Sfr_eventlog.Log_format.error_to_string e)
+            v.Stream_replay.bytes_analyzed extra_message )
+    | Stream_replay.Inconsistent e ->
+        (Frame.Err_inconsistent, Sfr_eventlog.Replay.error_to_string e)
+    | Stream_replay.Detector_failed m -> (Frame.Err_detector, m)
+  in
+  let o =
+    {
+      session = t.sid;
+      code;
+      races = List.length v.Stream_replay.racy_locations;
+      events = v.Stream_replay.events_applied;
+      bytes_analyzed = v.Stream_replay.bytes_analyzed;
+      message;
+      reports = v.Stream_replay.reports;
+    }
+  in
+  latch t o (verdict_frame o)
+
+let protocol_error t what =
+  Metrics.incr m_protocol_errors;
+  finish_code t Frame.Err_protocol what
+
+let on_frame t frame =
+  Metrics.incr m_frames_in;
+  match (t.phase, frame) with
+  | Finished, _ -> no_effect
+  | Awaiting_hello, Frame.Hello { version } ->
+      if version <> Frame.protocol_version then
+        protocol_error t
+          (Printf.sprintf "unsupported protocol version %d (want %d)" version
+             Frame.protocol_version)
+      else begin
+        t.phase <- Streaming;
+        t.credit <- t.cfg.credit_window;
+        Metrics.incr m_frames_out;
+        {
+          no_effect with
+          send =
+            [ Frame.Welcome { session = t.sid; credit = t.cfg.credit_window } ];
+        }
+      end
+  | Awaiting_hello, _ -> protocol_error t "expected HELLO"
+  | Streaming, Frame.Data b ->
+      if t.close_received then protocol_error t "DATA after CLOSE"
+      else begin
+        let len = Bytes.length b in
+        Metrics.add m_bytes_in len;
+        if len > t.credit then begin
+          Metrics.incr m_credit_violations;
+          finish_code t Frame.Err_protocol
+            (Printf.sprintf "credit exceeded: %d bytes sent, %d available" len
+               t.credit)
+        end
+        else begin
+          t.credit <- t.credit - len;
+          Queue.push b t.queue;
+          t.queued <- t.queued + len;
+          { no_effect with accepted = len }
+        end
+      end
+  | Streaming, Frame.Close ->
+      t.close_received <- true;
+      no_effect
+  | Streaming, Frame.Hello _ -> protocol_error t "duplicate HELLO"
+  | _, (Frame.Welcome _ | Frame.Credit _ | Frame.Verdict _ | Frame.Reject _)
+    ->
+      protocol_error t "server-to-client frame from client"
+
+let on_bytes t ~now_ms bytes ~pos ~len =
+  if t.phase = Finished then no_effect
+  else begin
+    t.last_activity <- now_ms;
+    Frame.decoder_feed t.decoder bytes ~pos ~len;
+    let eff = ref no_effect in
+    let continue_ = ref true in
+    while !continue_ && t.phase <> Finished do
+      match Frame.decoder_next t.decoder with
+      | Ok None -> continue_ := false
+      | Ok (Some frame) -> eff := merge !eff (on_frame t frame)
+      | Error e ->
+          eff := merge !eff (protocol_error t (Frame.error_to_string e));
+          continue_ := false
+    done;
+    !eff
+  end
+
+let ingest t =
+  if t.phase = Finished then no_effect
+  else begin
+    let drained = ref 0 in
+    while not (Queue.is_empty t.queue) do
+      let b = Queue.pop t.queue in
+      let len = Bytes.length b in
+      t.queued <- t.queued - len;
+      drained := !drained + len;
+      Stream_replay.feed t.replay b ~pos:0 ~len
+    done;
+    if !drained > 0 then Stream_replay.step t.replay;
+    let credit_frames =
+      if !drained > 0 && t.grant_credit && not t.close_received then begin
+        let grant = min !drained (t.cfg.credit_window - t.credit) in
+        if grant > 0 then begin
+          t.credit <- t.credit + grant;
+          Metrics.add m_credit_granted grant;
+          Metrics.incr m_frames_out;
+          [ Frame.Credit grant ]
+        end
+        else []
+      end
+      else []
+    in
+    let base = { no_effect with send = credit_frames; released = !drained } in
+    if t.close_received then
+      merge base
+        (finish_with_verdict t (Stream_replay.close t.replay ~abrupt:false) "")
+    else base
+  end
+
+let on_disconnect t =
+  if t.phase = Finished then no_effect
+  else begin
+    let eff = ingest t in
+    if t.phase = Finished then eff
+    else
+      merge eff
+        (finish_with_verdict t
+           (Stream_replay.close t.replay ~abrupt:true)
+           " (client disconnected)")
+  end
+
+let finish_overload t ~message = finish_code t Frame.Err_overload message
+
+let check_timeout t ~now_ms =
+  if t.phase = Finished then None
+  else
+    let deadline_hit =
+      match t.cfg.deadline_ms with
+      | Some d -> now_ms - t.started >= d
+      | None -> false
+    in
+    let idle_hit =
+      match t.cfg.idle_ms with
+      | Some d -> now_ms - t.last_activity >= d
+      | None -> false
+    in
+    if deadline_hit then
+      Some
+        (finish_code t Frame.Err_deadline
+           (Printf.sprintf "session deadline (%d ms) exceeded"
+              (Option.get t.cfg.deadline_ms)))
+    else if idle_hit then
+      Some
+        (finish_code t Frame.Err_idle
+           (Printf.sprintf "idle for %d ms" (now_ms - t.last_activity)))
+    else None
