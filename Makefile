@@ -1,4 +1,4 @@
-.PHONY: all build test bench profile perfdiff scaling examples replay-smoke telemetry-smoke serve-smoke clean
+.PHONY: all build test bench profile perfdiff scaling examples replay-smoke detector-smoke telemetry-smoke serve-smoke clean
 
 all: build
 
@@ -45,6 +45,24 @@ replay-smoke:
 	  diff /tmp/$$w.s1.out /tmp/$$w.s4.out && echo "$$w: 1-shard and 4-shard reports identical"; \
 	  rm -f /tmp/$$w.sflog /tmp/$$w.s1.out /tmp/$$w.s4.out; \
 	done
+
+# Run one workload under every registered detector, driven by the
+# registry itself (`racedetect detectors --names`) so a detector added
+# to the registry cannot be silently skipped by a stale hard-coded list.
+detector-smoke:
+	dune build bin/racedetect.exe
+	@set -e; \
+	names=$$(dune exec bin/racedetect.exe -- detectors --names); \
+	for d in multibags f-order sf-order sf-order-2pf vc-order; do \
+	  echo "$$names" | grep -qx $$d || { echo "detector-smoke: $$d missing from registry" >&2; exit 2; }; \
+	done; \
+	n=0; \
+	for d in $$names; do \
+	  echo "== $$d =="; \
+	  dune exec bin/racedetect.exe -- run -w mm -s tiny -d $$d; \
+	  n=$$((n + 1)); \
+	done; \
+	echo "detector-smoke: $$n registered detectors ran mm/tiny clean"
 
 telemetry-smoke:
 	dune build bin/racedetect.exe bench/main.exe

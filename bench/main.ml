@@ -398,13 +398,13 @@ let soak ~seeds ~workers =
   let module Chaos = Sfr_chaos.Chaos in
   let module Runner = Sfr_chaos_driver.Chaos_runner in
   Printf.printf "Chaos soak: %d seeds per cell, %d workers\n" seeds workers;
+  (* the detector matrix is the registry: a newly registered backend is
+     soaked (and differentially checked) without touching this file *)
   let detectors =
-    [
-      ("sf-order", fun () -> Sfr_detect.Sf_order.make ());
-      ("sf-order-2pf", fun () -> Sfr_detect.Sf_order.make ~readers:`Two_per_future ());
-      ("f-order", fun () -> Sfr_detect.F_order.make ());
-      ("multibags", fun () -> Sfr_detect.Multibags.make ());
-    ]
+    List.map
+      (fun (e : Sfr_detect.Registry.entry) ->
+        (e.Sfr_detect.Registry.name, e.Sfr_detect.Registry.make))
+      (Sfr_detect.Registry.all ())
   in
   let failed = ref false in
   List.iter
@@ -436,6 +436,29 @@ let soak ~seeds ~workers =
           if r.Runner.mismatches <> [] then failed := true)
         [ 0.0; 0.02 ])
     detectors;
+  (* scale lane: the vc-order oracle is O(n·width) instead of the naive
+     O(n²), so the same differential runs at 10x the DAG size *)
+  let cfg =
+    {
+      Runner.default_config with
+      Runner.seeds;
+      workers;
+      ops = Runner.default_config.Runner.ops * 10;
+      shrink = true;
+      oracle =
+        Runner.Oracle_detector (fun () -> Sfr_detect.Vc_order.make ());
+    }
+  in
+  let r = Runner.run cfg ~make:(fun () -> Sfr_detect.Sf_order.make ()) in
+  Printf.printf
+    "  %-14s vc-oracle @10x ops: %3d matched, %3d faults surfaced, %d \
+     mismatches\n%!"
+    "sf-order" r.Runner.matched r.Runner.faults_surfaced
+    (List.length r.Runner.mismatches);
+  List.iter
+    (fun m -> Format.printf "    MISMATCH %a@." Runner.pp_mismatch m)
+    r.Runner.mismatches;
+  if r.Runner.mismatches <> [] then failed := true;
   if !failed then begin
     prerr_endline "chaos soak FAILED";
     exit 1

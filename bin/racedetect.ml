@@ -2,6 +2,7 @@
    chosen detector and executor, and report determinacy races.
 
      racedetect list
+     racedetect detectors [--names]       (the detector registry + flags)
      racedetect run --workload mm --detector sf-order [--scale small]
                     [--executor serial|parallel] [--workers N]
                     [--inject-race] [--no-verify] [--check-discipline]
@@ -29,10 +30,9 @@ module Workload = Sfr_workloads.Workload
 module Registry = Sfr_workloads.Registry
 module Synthetic = Sfr_workloads.Synthetic
 module Detector = Sfr_detect.Detector
+module Detectors = Sfr_detect.Registry
 module Race = Sfr_detect.Race
 module Sf_order = Sfr_detect.Sf_order
-module F_order = Sfr_detect.F_order
-module Multibags = Sfr_detect.Multibags
 module Naive_detector = Sfr_detect.Naive_detector
 module Serial_exec = Sfr_runtime.Serial_exec
 module Par_exec = Sfr_runtime.Par_exec
@@ -44,17 +44,38 @@ module Stats = Sfr_support.Stats
 
 open Cmdliner
 
-let detector_of = function
-  | "sf-order" -> Ok (fun () -> Sf_order.make ())
-  | "sf-order-2pf" -> Ok (fun () -> Sf_order.make ~readers:`Two_per_future ())
-  | "f-order" -> Ok (fun () -> F_order.make ())
-  | "multibags" -> Ok (fun () -> Multibags.make ())
-  | s -> Error (`Msg (Printf.sprintf "unknown detector %S" s))
+(* Detector names resolve through the process-wide registry. "help"
+   prints the listing and exits 0; an unknown name prints it and exits 2
+   — every subcommand taking -d shares this behavior. *)
+let resolve_detector s =
+  if s = "help" || s = "list" then begin
+    print_string (Detectors.listing ());
+    exit 0
+  end
+  else
+    match Detectors.find s with
+    | Some e -> e
+    | None ->
+        Printf.eprintf "%s" (Detectors.unknown s);
+        exit 2
 
-let detector_conv =
-  Arg.conv
-    ( (fun s -> detector_of s),
-      fun ppf _ -> Format.pp_print_string ppf "<detector>" )
+let detector_doc =
+  "Detector name (see $(b,racedetect detectors)); $(b,help) prints the \
+   registry listing."
+
+(* A registry entry may cap the workload scale it is practical at. *)
+let check_scale_ceiling (e : Detectors.entry) scale =
+  match e.Detectors.caps.Detectors.scale_ceiling with
+  | None -> ()
+  | Some c -> (
+      match Workload.scale_of_string c with
+      | Some ceiling when scale <= ceiling -> ()
+      | Some _ ->
+          Printf.eprintf
+            "detector %s is capped at scale %s (registry scale ceiling)\n%s"
+            e.Detectors.name c (Detectors.listing ());
+          exit 2
+      | None -> ())
 
 let scale_conv =
   Arg.conv
@@ -130,9 +151,8 @@ let run_cmd =
   let detector =
     Arg.(
       value
-      & opt detector_conv (fun () -> Sf_order.make ())
-      & info [ "d"; "detector" ]
-          ~doc:"Detector: sf-order, sf-order-2pf, f-order, or multibags.")
+      & opt string "sf-order"
+      & info [ "d"; "detector" ] ~docv:"NAME" ~doc:detector_doc)
   in
   let scale =
     Arg.(
@@ -202,25 +222,27 @@ let run_cmd =
       & info [ "sample-ms" ] ~docv:"MS"
           ~doc:"Telemetry sampling period in milliseconds.")
   in
-  let run workload make_det scale executor workers inject no_verify
+  let run workload detector scale executor workers inject no_verify
       check_discipline stats trace_out flight_dump telemetry_out sample_ms =
+    let entry = resolve_detector detector in
     match Registry.find workload with
     | None ->
         Printf.eprintf "unknown workload %S (try: racedetect list)\n" workload;
         exit 2
     | Some w ->
+        check_scale_ceiling entry scale;
         let inst = w.Workload.instantiate ~inject_race:inject scale in
-        let det = make_det () in
+        let det = entry.Detectors.make () in
         if executor = `Parallel && not det.Detector.supports_parallel then begin
           Printf.eprintf
             "%s is a sequential detector and cannot run under the parallel \
-             executor\n"
-            det.Detector.name;
+             executor\n%s"
+            det.Detector.name (Detectors.listing ());
           exit 2
         end;
         Printf.printf "%s @ %s under %s (%s)\n" w.Workload.name
           (Format.asprintf "%a" Workload.pp_scale scale)
-          det.Detector.name
+          entry.Detectors.name
           (match executor with
           | `Serial -> "serial execution"
           | `Parallel -> Printf.sprintf "parallel execution, %d workers" workers);
@@ -566,11 +588,12 @@ let replay_cmd =
   let detector =
     Arg.(
       value
-      & opt (some string) None
-      & info [ "d"; "detector" ]
+      & opt string "sf-order"
+      & info [ "d"; "detector" ] ~docv:"NAME"
           ~doc:
-            "Detector to replay: sf-order (default), sf-order-2pf, f-order, \
-             or multibags (serial logs only). Incompatible with --shards.")
+            (detector_doc
+           ^ " Serial-only detectors accept single-worker logs; --shards \
+              requires a shardable one."))
   in
   let shards =
     Arg.(
@@ -594,6 +617,7 @@ let replay_cmd =
       & info [ "no-verify" ] ~doc:"Exit 0 even when races are reported.")
   in
   let run file detector shards stats no_verify =
+    let entry = resolve_detector detector in
     let log =
       match Sfr_eventlog.Reader.load_file file with
       | Ok log -> log
@@ -607,14 +631,13 @@ let replay_cmd =
           Printf.eprintf "--shards must be >= 1\n";
           exit 2
       | Some n -> (
-          (match detector with
-          | None | Some "sf-order" -> ()
-          | Some d ->
-              Printf.eprintf
-                "sharded replay is SF-Order reachability; --shards cannot be \
-                 combined with -d %s\n"
-                d;
-              exit 2);
+          if not entry.Detectors.caps.Detectors.shardable then begin
+            Printf.eprintf
+              "detector %s does not support sharded replay (--shards %d); \
+               its capabilities are below\n%s"
+              entry.Detectors.name n (Detectors.listing ());
+            exit 2
+          end;
           let res, dt =
             Stats.time (fun () -> Sfr_eventlog.Shard_replay.run log ~shards:n)
           in
@@ -641,23 +664,17 @@ let replay_cmd =
               end;
               racy)
       | None -> (
-          let make_det =
-            match detector_of (Option.value detector ~default:"sf-order") with
-            | Ok f -> f
-            | Error (`Msg m) ->
-                Printf.eprintf "%s\n" m;
-                exit 2
-          in
-          let det = make_det () in
+          let det = entry.Detectors.make () in
           if
             (not det.Detector.supports_parallel)
             && Sfr_eventlog.Reader.n_workers log > 1
           then begin
             Printf.eprintf
               "%s requires a depth-first event order; this log has %d worker \
-               streams (record with the serial executor)\n"
+               streams (record with the serial executor)\n%s"
               det.Detector.name
-              (Sfr_eventlog.Reader.n_workers log);
+              (Sfr_eventlog.Reader.n_workers log)
+              (Detectors.listing ());
             exit 2
           end;
           let res, dt =
@@ -669,7 +686,8 @@ let replay_cmd =
                 (Sfr_eventlog.Replay.error_to_string e);
               exit 2
           | Ok n ->
-              Printf.printf "replayed %d events under %s\n" n det.Detector.name;
+              Printf.printf "replayed %d events under %s\n" n
+                entry.Detectors.name;
               Printf.printf "reachability queries: %d\n" (det.Detector.queries ());
               let racy = print_races (Race.reports det.Detector.races) in
               Printf.eprintf "replayed in %.3f s\n" dt;
@@ -755,8 +773,8 @@ let synth_cmd =
   let detector =
     Arg.(
       value
-      & opt detector_conv (fun () -> Sf_order.make ())
-      & info [ "d"; "detector" ] ~doc:"Detector to run.")
+      & opt string "sf-order"
+      & info [ "d"; "detector" ] ~docv:"NAME" ~doc:detector_doc)
   in
   let oracle =
     Arg.(
@@ -777,13 +795,14 @@ let synth_cmd =
       & info [ "stats" ]
           ~doc:"Print the detector's metric counters after the run.")
   in
-  let run seed ops depth locs make_det oracle no_verify stats =
+  let run seed ops depth locs detector oracle no_verify stats =
+    let entry = resolve_detector detector in
     let t = Synthetic.generate ~seed ~ops ~depth ~locs () in
     let n_ops, futures, gets = Synthetic.stats t in
     Printf.printf "synthetic program: %d ops, %d futures, %d gets\n" n_ops futures gets;
     let inst = Synthetic.instantiate t in
     if stats then Sfr_obs.Prof.enable ();
-    let det = make_det () in
+    let det = entry.Detectors.make () in
     let (), dt =
       Stats.time (fun () ->
           Serial_exec.run det.Detector.callbacks ~root:det.Detector.root
@@ -832,8 +851,19 @@ let chaos_cmd =
   let detector =
     Arg.(
       value
-      & opt detector_conv (fun () -> Sf_order.make ())
-      & info [ "d"; "detector" ] ~doc:"Detector to soak.")
+      & opt string "sf-order"
+      & info [ "d"; "detector" ] ~docv:"NAME" ~doc:detector_doc)
+  in
+  let oracle =
+    Arg.(
+      value
+      & opt string "naive"
+      & info [ "oracle" ] ~docv:"NAME"
+          ~doc:
+            "Ground truth: $(b,naive) (exhaustive offline analysis, tiny \
+             scales only) or any oracle-grade registry detector (e.g. \
+             $(b,vc-order)) run serially without chaos — cheap enough for \
+             10-100x larger --ops.")
   in
   let workers =
     Arg.(
@@ -868,10 +898,25 @@ let chaos_cmd =
   let stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print chaos metric counters.")
   in
-  let run seeds base_seed ops depth locs make_det workers no_chaos fault_rate
-      shrink out stats =
+  let run seeds base_seed ops depth locs detector oracle workers no_chaos
+      fault_rate shrink out stats =
     let module Chaos = Sfr_chaos.Chaos in
     let module Runner = Sfr_chaos_driver.Chaos_runner in
+    let entry = resolve_detector detector in
+    let oracle_spec =
+      if oracle = "naive" then Runner.Naive
+      else begin
+        let e = resolve_detector oracle in
+        if not e.Detectors.caps.Detectors.oracle_grade then begin
+          Printf.eprintf
+            "detector %s is not oracle-grade and cannot serve as chaos \
+             ground truth\n%s"
+            e.Detectors.name (Detectors.listing ());
+          exit 2
+        end;
+        Runner.Oracle_detector e.Detectors.make
+      end
+    in
     let chaos =
       if no_chaos then None
       else
@@ -891,16 +936,18 @@ let chaos_cmd =
         chaos;
         shrink;
         out_dir = out;
+        oracle = oracle_spec;
       }
     in
     Printf.printf
-      "chaos: %d seeds, %d workers, injection %s, fault rate %.3f, shrink %b\n%!"
-      seeds workers
+      "chaos: %d seeds, %d workers, oracle %s, injection %s, fault rate \
+       %.3f, shrink %b\n%!"
+      seeds workers oracle
       (if no_chaos then "off" else "on")
       fault_rate shrink;
     let report, dt =
       Stats.time (fun () ->
-          Runner.run cfg ~make:make_det ~progress:(fun n ->
+          Runner.run cfg ~make:entry.Detectors.make ~progress:(fun n ->
               if n mod 25 = 0 then Printf.printf "  ...%d/%d seeds\n%!" n seeds))
     in
     Printf.printf
@@ -922,8 +969,29 @@ let chaos_cmd =
   in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
-      const run $ seeds $ base_seed $ ops $ depth $ locs $ detector $ workers
-      $ no_chaos $ fault_rate $ shrink $ out $ stats)
+      const run $ seeds $ base_seed $ ops $ depth $ locs $ detector $ oracle
+      $ workers $ no_chaos $ fault_rate $ shrink $ out $ stats)
+
+(* -- detectors ---------------------------------------------------------- *)
+
+let detectors_cmd =
+  let doc =
+    "List the registered race-detector backends with their capability \
+     flags (parallel/serial, shardable, oracle-grade, scale ceiling)."
+  in
+  let names_only =
+    Arg.(
+      value & flag
+      & info [ "names" ]
+          ~doc:
+            "Print bare detector names, one per line — the scriptable form \
+             the registry-driven smoke matrix iterates.")
+  in
+  let run names_only =
+    if names_only then List.iter print_endline (Detectors.names ())
+    else print_string (Detectors.listing ())
+  in
+  Cmd.v (Cmd.info "detectors" ~doc) Term.(const run $ names_only)
 
 (* -- serve / stress-client ---------------------------------------------- *)
 
@@ -1502,6 +1570,7 @@ let () =
        (Cmd.group info
           [
             list_cmd;
+            detectors_cmd;
             run_cmd;
             synth_cmd;
             record_cmd;

@@ -16,6 +16,16 @@
 
 module Chaos = Sfr_chaos.Chaos
 
+type oracle_spec =
+  | Naive
+      (** serial trace + {!Sfr_detect.Naive_detector.analyze}: the O(n²)
+          exhaustive ground truth, practical only at tiny DAG sizes *)
+  | Oracle_detector of (unit -> Sfr_detect.Detector.t)
+      (** a serial, chaos-free run of an independent on-the-fly detector
+          (registry entries with [caps.oracle_grade], e.g. vc-order) —
+          cheap enough to push the differential and the shrinker to
+          10–100× the naive sizes *)
+
 type config = {
   seeds : int;  (** number of seeds to sweep *)
   base_seed : int;  (** first seed; seed [i] is [base_seed + i] *)
@@ -26,6 +36,7 @@ type config = {
   chaos : Chaos.config option;  (** [None] disables injection entirely *)
   shrink : bool;  (** delta-debug failures to minimal reproducers *)
   out_dir : string option;  (** where to dump reproducer sfdag files *)
+  oracle : oracle_spec;  (** how ground truth is computed *)
 }
 
 val default_config : config
@@ -60,8 +71,12 @@ type report = {
 }
 
 val oracle : Sfr_workloads.Synthetic.t -> verdict
-(** Serial ground truth for a program (chaos must be disarmed by the
-    caller; {!run_seed} arms only around the detector run). *)
+(** The [Naive] serial ground truth for a program (chaos must be
+    disarmed by the caller; {!run_seed} arms only around the detector
+    run). *)
+
+val ground_truth : config -> Sfr_workloads.Synthetic.t -> verdict
+(** Ground truth per [config.oracle]; same disarming contract. *)
 
 val run_seed :
   config -> make:(unit -> Sfr_detect.Detector.t) -> seed:int -> outcome

@@ -1,0 +1,59 @@
+(** Process-wide detector registry: the single seam through which the
+    CLI, the replay/serve paths, the bench harness, and the chaos driver
+    enumerate race-detector backends.
+
+    Every backend is a named constructor for a fresh {!Detector.t} plus
+    capability flags the callers gate on, so adding a detector here is
+    enough to give it run/record/replay, figures, soak, and the CI smoke
+    matrix ([make detector-smoke]) without touching any of them.
+
+    Built-ins register at module initialization, in presentation order:
+    [multibags], [f-order], [sf-order], [sf-order-2pf], [vc-order]. The
+    harness figure tables iterate [all ()] filtered on [caps.figure] —
+    exactly the historical MultiBags / F-Order / SF-Order columns.
+    [Naive_detector] is deliberately absent: it is an offline dag
+    analysis, not an {!Sfr_runtime.Events} client. *)
+
+type caps = {
+  supports_parallel : bool;
+      (** can run under the parallel executor (mirrors
+          {!Detector.t.supports_parallel}). *)
+  oracle_grade : bool;
+      (** an independent algorithm whose serial run is usable as
+          differential ground truth (chaos [--oracle]). *)
+  shardable : bool;
+      (** supports location-sharded offline replay ([--shards]); only
+          SF-Order, whose reachability {!Sfr_eventlog.Shard_replay}
+          implements. *)
+  figure : bool;  (** appears in the paper-reproduction figure tables. *)
+  scale_ceiling : string option;
+      (** largest {!Sfr_workloads.Workload.scale} name the detector is
+          practical at; [None] = unbounded. *)
+}
+
+type entry = {
+  name : string;  (** CLI name, e.g. ["sf-order"]. *)
+  label : string;  (** display label for figure columns, e.g. ["SF-Order"]. *)
+  doc : string;  (** one-line description for listings. *)
+  make : unit -> Detector.t;  (** fresh single-use instance. *)
+  caps : caps;
+}
+
+val find : string -> entry option
+val all : unit -> entry list
+(** In registration order. *)
+
+val names : unit -> string list
+
+val register : entry -> unit
+(** Append an entry (extensions, tests).
+    @raise Invalid_argument on a duplicate name. *)
+
+val caps_string : caps -> string
+(** Compact flag rendering, e.g. ["parallel,shard"]. *)
+
+val listing : unit -> string
+(** Human-readable table of every entry: name, flags, doc. *)
+
+val unknown : string -> string
+(** Error text for an unrecognized name — includes the listing. *)

@@ -1,6 +1,7 @@
 module Workload = Sfr_workloads.Workload
 module Registry = Sfr_workloads.Registry
 module Detector = Sfr_detect.Detector
+module Detectors = Sfr_detect.Registry
 module Sf_order = Sfr_detect.Sf_order
 module F_order = Sfr_detect.F_order
 module Multibags = Sfr_detect.Multibags
@@ -64,14 +65,26 @@ let fig3 ~scale =
 
 type detcol = { label : string; make : unit -> Detector.t; parallel : bool }
 
-let detcols =
-  [
-    { label = "MultiBags"; make = (fun () -> Multibags.make ()); parallel = false };
-    { label = "F-Order"; make = (fun () -> F_order.make ()); parallel = true };
-    { label = "SF-Order"; make = (fun () -> Sf_order.make ()); parallel = true };
-  ]
+(* The figure tables' detector columns come straight from the registry
+   ([caps.figure] entries, registration order), so the historical
+   MultiBags / F-Order / SF-Order output is byte-identical and a future
+   paper-grade backend only has to register itself. Computed per call:
+   tests may register entries after this module initializes. *)
+let detcols () =
+  List.filter_map
+    (fun (e : Detectors.entry) ->
+      if e.Detectors.caps.Detectors.figure then
+        Some
+          {
+            label = e.Detectors.label;
+            make = e.Detectors.make;
+            parallel = e.Detectors.caps.Detectors.supports_parallel;
+          }
+      else None)
+    (Detectors.all ())
 
 let fig4 ~scale ~repeats ~workers =
+  let detcols = detcols () in
   Format.printf
     "Figure 4: execution times (seconds). T1 measured on one core; T%d \
      simulated by greedy scheduling of the recorded dag scaled by measured \
@@ -202,17 +215,22 @@ let sweep ~scale ~repeats =
       in
       let base = Runner.time_serial ~repeats mk Runner.Base in
       add "base" base.Runner.seconds;
-      let mb =
-        Runner.time_serial ~repeats mk (Runner.Full (fun () -> Multibags.make ()))
-      in
-      (* MultiBags cannot run in parallel: constant across P *)
-      Tablefmt.add_row t
-        ([ w.Workload.name; "multibags full (serial only)" ]
-        @ List.map (fun _ -> Printf.sprintf "%.3f" mb.Runner.seconds) ps);
-      let fo = Runner.time_serial ~repeats mk (Runner.Full (fun () -> F_order.make ())) in
-      add "f-order full" fo.Runner.seconds;
-      let sf = Runner.time_serial ~repeats mk (Runner.Full (fun () -> Sf_order.make ())) in
-      add "sf-order full" sf.Runner.seconds;
+      List.iter
+        (fun (e : Detectors.entry) ->
+          if e.Detectors.caps.Detectors.figure then begin
+            let m =
+              Runner.time_serial ~repeats mk (Runner.Full e.Detectors.make)
+            in
+            if e.Detectors.caps.Detectors.supports_parallel then
+              add (e.Detectors.name ^ " full") m.Runner.seconds
+            else
+              (* a sequential detector cannot run in parallel: constant
+                 across P *)
+              Tablefmt.add_row t
+                ([ w.Workload.name; e.Detectors.name ^ " full (serial only)" ]
+                @ List.map (fun _ -> Printf.sprintf "%.3f" m.Runner.seconds) ps)
+          end)
+        (Detectors.all ());
       Tablefmt.add_separator t)
     Registry.all;
   Tablefmt.print t
@@ -417,13 +435,13 @@ let motivation ~scale =
 (* Profile dump: per-configuration metric snapshots                   *)
 (* ---------------------------------------------------------------- *)
 
-let profile_cols =
-  [
-    ("multibags", fun () -> Multibags.make ());
-    ("f-order", fun () -> F_order.make ());
-    ("sf-order", fun () -> Sf_order.make ());
-    ("sf-order-2pf", fun () -> Sf_order.make ~readers:`Two_per_future ());
-  ]
+(* Every registered backend gets a profile row (and hence a perfdiff
+   series): new detectors join the BENCH_profile.json trajectory the
+   moment they register. *)
+let profile_cols () =
+  List.map
+    (fun (e : Detectors.entry) -> (e.Detectors.name, e.Detectors.make))
+    (Detectors.all ())
 
 let profile ~scale ~repeats ~out =
   Format.printf
@@ -463,7 +481,7 @@ let profile ~scale ~repeats ~out =
               Tablefmt.cell_int_compact m.Runner.queries;
               string_of_int (List.length m.Runner.metrics);
             ])
-        profile_cols;
+        (profile_cols ());
       Tablefmt.add_separator t)
     Registry.all;
   if not prof_was_on then Sfr_obs.Prof.disable ();
