@@ -1,4 +1,4 @@
-.PHONY: all build test bench profile perfdiff scaling examples replay-smoke detector-smoke telemetry-smoke serve-smoke clean
+.PHONY: all build test bench profile perfdiff scaling examples replay-smoke detector-smoke telemetry-smoke serve-smoke serve-obs-smoke clean
 
 all: build
 
@@ -91,6 +91,38 @@ serve-smoke:
 	grep -q "ERR_TORN" /tmp/serve_smoke.log; \
 	echo "serve-smoke: 4 sessions served (1 torn), clean shutdown"; \
 	rm -f /tmp/serve_smoke.log $$sock
+
+# The observability surface end to end against a live daemon: probe the
+# admin plane (health + grammar-checked Prometheus scrape) before any
+# stream exists, serve a stress mix, then lint the audit log and check
+# the trace recorded per-session lifecycle spans.
+serve-obs-smoke:
+	dune build bin/racedetect.exe
+	@set -e; \
+	sock=/tmp/serve_obs.sock; \
+	rm -f $$sock /tmp/serve_obs.log /tmp/serve_obs_audit.jsonl \
+	  /tmp/serve_obs_trace.json /tmp/serve_obs_stats.log; \
+	dune exec bin/racedetect.exe -- serve --socket $$sock \
+	  --max-sessions 4 --stats \
+	  --audit-out /tmp/serve_obs_audit.jsonl \
+	  --trace-out /tmp/serve_obs_trace.json > /tmp/serve_obs.log 2>&1 & \
+	srv=$$!; \
+	for i in $$(seq 1 100); do [ -S $$sock ] && break; sleep 0.1; done; \
+	[ -S $$sock ] || { echo "serve-obs-smoke: daemon never listened" >&2; exit 2; }; \
+	dune exec bin/racedetect.exe -- serve-stats --socket $$sock --check \
+	  > /tmp/serve_obs_stats.log; \
+	grep -q "health: healthy" /tmp/serve_obs_stats.log; \
+	dune exec bin/racedetect.exe -- stress-client --socket $$sock \
+	  --workload mm --sessions 4 --torn 1; \
+	wait $$srv; \
+	cat /tmp/serve_obs.log; \
+	grep -q "served 4 session(s)" /tmp/serve_obs.log; \
+	dune exec bin/racedetect.exe -- audit-lint /tmp/serve_obs_audit.jsonl \
+	  --min-records 10; \
+	grep -q "serve.session" /tmp/serve_obs_trace.json; \
+	echo "serve-obs-smoke: admin probe + audit lint + session spans OK"; \
+	rm -f /tmp/serve_obs.log /tmp/serve_obs_audit.jsonl \
+	  /tmp/serve_obs_trace.json /tmp/serve_obs_stats.log $$sock
 
 clean:
 	dune clean

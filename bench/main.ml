@@ -176,6 +176,21 @@ let prof_overhead () =
              Sfr_obs.Telemetry.mark "bench.disarmed"
            done))
   in
+  (* the serve hot path's full disarmed gate set: one Prof pair plus the
+     audit and trace flag loads every decode/ingest region pays *)
+  let serve_gate = Prof.timer "prof.bench.serve_gate.ns" in
+  let gate_sink = ref false in
+  let serve_gates_test =
+    Test.make ~name:"disarmed serve obs gates (x100)"
+      (Staged.stage (fun () ->
+           for i = 1 to 100 do
+             sink := !sink + i;
+             let t0 = Prof.start () in
+             gate_sink :=
+               Sfr_serve.Audit.armed () || Sfr_obs.Trace_event.is_on ();
+             Prof.stop serve_gate t0
+           done))
+  in
   let enabled_test =
     Test.make ~name:"enabled start/stop (x100)"
       (Staged.stage (fun () ->
@@ -205,10 +220,16 @@ let prof_overhead () =
    else
      print_endline
        "  disarmed telemetry mark (x100)   (skipped: telemetry is armed)");
+  (if not (Sfr_serve.Audit.armed () || Sfr_obs.Trace_event.is_on ()) then
+     measure serve_gates_test
+   else
+     print_endline
+       "  disarmed serve obs gates (x100)  (skipped: a sink is armed)");
   Prof.enable ();
   measure enabled_test;
   if not was_on then Prof.disable ();
-  ignore !sink
+  ignore !sink;
+  ignore !gate_sink
 
 (* ---------------------------------------------------------------- *)
 (* event-log record / replay                                          *)
@@ -385,7 +406,44 @@ let serve_bench ~scale ~repeats ~clients_axis =
       in
       Printf.printf "  %8d %10.4f %14.0f %12.2f\n%!" clients dt
         (total_events /. dt) (total_mb /. dt))
-    clients_axis
+    clients_axis;
+  (* A/B the observability surface itself: the same single-client run
+     with every serve sink disarmed vs armed (profiling + tracing +
+     audit). The disarmed column is the number the <5% regression gate
+     watches; the armed delta prices turning everything on. *)
+  let one_client () =
+    let server =
+      Server.create
+        {
+          Server.session = Session.default_config;
+          global_budget = 64 * 1024 * 1024;
+          overload = Server.Shed;
+          pool_domains = 0;
+          defer_ingest = false;
+        }
+    in
+    let c = Loopback.connect server in
+    Loopback.run_log c image;
+    let outcomes = Server.outcomes server in
+    Server.shutdown server;
+    if List.length outcomes <> 1 then failwith "serve bench: A/B outcome lost"
+  in
+  let disarmed = best one_client in
+  let audit_path = Filename.temp_file "sfr_serve_ab" ".audit.jsonl" in
+  Sfr_obs.Prof.enable ();
+  Sfr_obs.Trace_event.start ();
+  Sfr_serve.Audit.open_sink ~path:audit_path ();
+  let armed = best one_client in
+  Sfr_serve.Audit.close_sink ();
+  Sfr_obs.Trace_event.stop ();
+  Sfr_obs.Trace_event.clear ();
+  Sfr_obs.Prof.disable ();
+  Sys.remove audit_path;
+  Printf.printf
+    "  obs A/B (1 client): disarmed %.4fs, armed %.4fs (%+.1f%%; armed = \
+     prof + trace + audit)\n%!"
+    disarmed armed
+    ((armed -. disarmed) /. disarmed *. 100.0)
 
 (* ---------------------------------------------------------------- *)
 (* chaos soak                                                         *)

@@ -1100,8 +1100,45 @@ let serve_cmd =
       value & flag
       & info [ "stats" ] ~doc:"Print serve metric counters on exit.")
   in
+  let audit_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "audit-out" ] ~docv:"FILE"
+          ~doc:
+            "Stream a structured audit log (one JSONL record per \
+             session-lifecycle edge: hello, credit, park/thaw, shed, \
+             timeout, disconnect, verdict) to $(docv). See \
+             $(b,audit-lint) for validation.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a chrome://tracing JSON of the daemon's lifetime to \
+             $(docv): per-session lifecycle spans (hello to verdict) \
+             over the per-domain decode/ingest work spans.")
+  in
+  let telemetry_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry-out" ] ~docv:"FILE"
+          ~doc:
+            "Sample continuous telemetry during serving and stream it as \
+             JSONL to $(docv). See $(b,telemetry-lint) for validation.")
+  in
+  let sample_ms =
+    Arg.(
+      value
+      & opt int Sfr_obs.Telemetry.default_sample_ms
+      & info [ "sample-ms" ] ~docv:"MS"
+          ~doc:"Telemetry sampling period in milliseconds.")
+  in
   let run socket tcp budget overload credit_window deadline_ms idle_ms shards
-      pool max_sessions stats =
+      pool max_sessions stats audit_out trace_out telemetry_out sample_ms =
     let addr =
       match addr_of ~socket ~tcp with
       | Ok a -> a
@@ -1126,6 +1163,19 @@ let serve_cmd =
     in
     (* a client that vanishes mid-write must not kill the daemon *)
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    (* observability sinks arm before the first accept so session 0's
+       whole lifecycle is covered *)
+    if trace_out <> None then Sfr_obs.Trace_event.start ();
+    let telemetry_on = telemetry_out <> None || trace_out <> None in
+    if telemetry_on then
+      Sfr_obs.Telemetry.start ~sample_ms ?out:telemetry_out ();
+    (match audit_out with
+    | None -> ()
+    | Some f -> (
+        try Sfr_serve.Audit.open_sink ~path:f ()
+        with Sys_error msg ->
+          Printf.eprintf "cannot open audit log: %s\n" msg;
+          exit 2));
     let cfg =
       {
         Serve.session =
@@ -1152,13 +1202,20 @@ let serve_cmd =
       pool;
     let clients : (Unix.file_descr, Serve.conn) Hashtbl.t = Hashtbl.create 16 in
     let buf = Bytes.create 65536 in
-    let accepted = ref 0 in
     let running = ref true in
     let fatal = ref None in
     (try
        while !running do
+         (* The session limit counts connections that can still produce
+            outcomes (live ones) plus outcomes already latched — an
+            admin probe connects, answers, disconnects, and frees its
+            slot without ever counting as served. *)
          let accepting =
-           match max_sessions with Some m -> !accepted < m | None -> true
+           match max_sessions with
+           | Some m ->
+               Hashtbl.length clients + List.length (Serve.outcomes server)
+               < m
+           | None -> true
          in
          let fds =
            (if accepting then [ listen_fd ] else [])
@@ -1173,7 +1230,6 @@ let serve_cmd =
            (fun fd ->
              if fd = listen_fd then begin
                let cfd, _ = Unix.accept listen_fd in
-               incr accepted;
                let conn = Serve.connect server ~send:(write_all cfd) in
                Hashtbl.replace clients cfd conn
              end
@@ -1208,6 +1264,32 @@ let serve_cmd =
     | Unix.ADDR_UNIX path when Sys.file_exists path -> (
         try Unix.unlink path with Unix.Unix_error _ -> ())
     | _ -> ());
+    (match audit_out with
+    | None -> ()
+    | Some f ->
+        let n = Sfr_serve.Audit.record_count () in
+        Sfr_serve.Audit.close_sink ();
+        Printf.printf "wrote audit log (%d records) to %s\n" n f);
+    (* telemetry stops before the trace is written so the final sample's
+       counter events land inside the trace buffer, as `run` *)
+    if telemetry_on then begin
+      Sfr_obs.Telemetry.stop ();
+      match telemetry_out with
+      | Some f ->
+          Printf.printf "wrote telemetry (%d samples) to %s\n"
+            (Sfr_obs.Telemetry.sample_count ())
+            f
+      | None -> ()
+    end;
+    (match trace_out with
+    | Some f -> (
+        Sfr_obs.Trace_event.stop ();
+        match Sfr_obs.Trace_event.write_file f with
+        | () -> Printf.printf "wrote chrome trace to %s\n" f
+        | exception Sys_error msg ->
+            Printf.eprintf "cannot write trace: %s\n" msg;
+            exit 2)
+    | None -> ());
     let outcomes = Serve.outcomes server in
     List.iter
       (fun (o : Serve_session.outcome) ->
@@ -1246,7 +1328,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ socket $ tcp $ budget $ overload $ credit_window
-      $ deadline_ms $ idle_ms $ shards $ pool $ max_sessions $ stats)
+      $ deadline_ms $ idle_ms $ shards $ pool $ max_sessions $ stats
+      $ audit_out $ trace_out $ telemetry_out $ sample_ms)
 
 (* One stress-client session: its own socket, its own behaviour mode. *)
 type stress_mode = M_healthy | M_torn | M_over_budget | M_idle
@@ -1562,6 +1645,180 @@ let stress_client_cmd =
       const run $ socket $ tcp $ workload $ scale $ inject $ sessions $ torn
       $ over_budget $ idle $ idle_park_s $ frame)
 
+(* -- serve-stats / audit-lint ------------------------------------------- *)
+
+let serve_stats_cmd =
+  let doc =
+    "Query a running $(b,serve) daemon's admin plane over its own wire \
+     protocol: one-bit health with a detail line, the live session table \
+     as JSON, and a Prometheus metrics scrape. Exits 1 when the daemon \
+     reports itself degraded, 2 on connection failure, timeout, or (with \
+     $(b,--check)) an invalid exposition."
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon Unix socket.")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT" ~doc:"Daemon loopback TCP port.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Validate the metrics scrape against the Prometheus text-format \
+             grammar (exit 2 on violation).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write the metrics scrape to $(docv) instead of stdout.")
+  in
+  let timeout_s =
+    Arg.(
+      value & opt float 10.0
+      & info [ "timeout-s" ] ~docv:"S"
+          ~doc:"Give up if the daemon has not answered within $(docv).")
+  in
+  let run socket tcp check metrics_out timeout_s =
+    let addr =
+      match addr_of ~socket ~tcp with
+      | Ok a -> a
+      | Error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 2
+    in
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    (match Unix.connect fd addr with
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "cannot connect: %s\n" (Unix.error_message e);
+        exit 2
+    | () -> ());
+    write_all fd (Serve_frame.to_bytes Serve_frame.Health_req);
+    write_all fd (Serve_frame.to_bytes Serve_frame.Stats_req);
+    write_all fd (Serve_frame.to_bytes Serve_frame.Metrics_req);
+    let dec = Serve_frame.decoder () in
+    let health = ref None in
+    let stats = ref None in
+    let metrics = ref None in
+    let gone = ref false in
+    let rbuf = Bytes.create 65536 in
+    let t0 = Unix.gettimeofday () in
+    while
+      (!health = None || !stats = None || !metrics = None)
+      && (not !gone)
+      && Unix.gettimeofday () -. t0 < timeout_s
+    do
+      let readable, _, _ =
+        try Unix.select [ fd ] [] [] 0.1
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      if readable <> [] then
+        match Unix.read fd rbuf 0 (Bytes.length rbuf) with
+        | 0 | (exception Unix.Unix_error _) -> gone := true
+        | n ->
+            Serve_frame.decoder_feed dec rbuf ~pos:0 ~len:n;
+            let continue_ = ref true in
+            while !continue_ do
+              match Serve_frame.decoder_next dec with
+              | Ok (Some (Serve_frame.Health_reply { healthy; detail })) ->
+                  health := Some (healthy, detail)
+              | Ok (Some (Serve_frame.Stats_reply s)) -> stats := Some s
+              | Ok (Some (Serve_frame.Metrics_reply m)) -> metrics := Some m
+              | Ok (Some _) -> ()
+              | Ok None | Error _ -> continue_ := false
+            done
+    done;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    match (!health, !stats, !metrics) with
+    | Some (healthy, detail), Some stats_doc, Some scrape ->
+        Printf.printf "health: %s (%s)\n"
+          (if healthy then "healthy" else "degraded")
+          detail;
+        print_endline stats_doc;
+        if check then begin
+          match Sfr_obs.Telemetry.check_prometheus scrape with
+          | Ok n -> Printf.eprintf "exposition OK: %d sample line(s)\n" n
+          | Error e ->
+              Printf.eprintf "exposition INVALID: %s\n" e;
+              exit 2
+        end;
+        (match metrics_out with
+        | None -> print_string scrape
+        | Some f -> (
+            match
+              let oc = open_out f in
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () -> output_string oc scrape)
+            with
+            | () -> Printf.eprintf "wrote metrics scrape to %s\n" f
+            | exception Sys_error msg ->
+                Printf.eprintf "cannot write %s: %s\n" f msg;
+                exit 2));
+        if not healthy then exit 1
+    | _ ->
+        Printf.eprintf "daemon did not answer within %.1fs%s\n" timeout_s
+          (if !gone then " (connection closed)" else "");
+        exit 2
+  in
+  Cmd.v (Cmd.info "serve-stats" ~doc)
+    Term.(const run $ socket $ tcp $ check $ metrics_out $ timeout_s)
+
+let audit_lint_cmd =
+  let doc =
+    "Validate a JSONL audit log written by $(b,serve --audit-out): schema \
+     header, per-line JSON, known event names, strictly increasing \
+     sequence numbers, per-event required fields. Exit 2 on malformed \
+     input, 1 when fewer than --min-records records are present."
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Audit JSONL file.")
+  in
+  let min_records =
+    Arg.(
+      value & opt int 1
+      & info [ "min-records" ] ~docv:"N"
+          ~doc:"Require at least $(docv) records.")
+  in
+  let run file min_records =
+    let text =
+      try
+        let ic = open_in_bin file in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with Sys_error msg ->
+        Printf.eprintf "%s: %s\n" file msg;
+        exit 2
+    in
+    match Sfr_serve.Audit.lint_jsonl text with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" file e;
+        exit 2
+    | Ok n ->
+        Printf.printf "%s: %d record(s), schema %d\n" file n
+          Sfr_serve.Audit.schema_version;
+        if n < min_records then begin
+          Printf.eprintf "expected at least %d record(s), found %d\n"
+            min_records n;
+          exit 1
+        end
+  in
+  Cmd.v (Cmd.info "audit-lint" ~doc) Term.(const run $ file $ min_records)
+
 let () =
   let doc = "on-the-fly determinacy race detection for structured futures" in
   let info = Cmd.info "racedetect" ~version:"1.0.0" ~doc in
@@ -1581,4 +1838,6 @@ let () =
             telemetry_lint_cmd;
             serve_cmd;
             stress_client_cmd;
+            serve_stats_cmd;
+            audit_lint_cmd;
           ]))

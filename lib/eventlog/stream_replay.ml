@@ -10,6 +10,10 @@ let m_events = Metrics.counter "eventlog.stream.events"
 let m_steps = Metrics.counter "eventlog.stream.steps"
 let m_shard_checks = Metrics.counter "eventlog.stream.shard_checks"
 
+(* Hot-path attribution for the serve layer's ingest: one [step] is the
+   analysis work a drained chunk pays for. *)
+let t_step = Sfr_obs.Prof.timer "prof.eventlog.stream_step.ns"
+
 type status =
   | Complete
   | Torn of Log_format.error
@@ -250,6 +254,7 @@ let merge t =
 let step t =
   if t.failed = None && t.final = None then begin
     Metrics.incr m_steps;
+    let pt = Sfr_obs.Prof.start () in
     (match Stream_reader.drain t.reader with
     | Ok evs ->
         List.iter
@@ -262,7 +267,8 @@ let step t =
       (* root state exists before any event *)
       if t.states.(0) = None then t.states.(0) <- Some t.det.Detector.root;
       merge t
-    end
+    end;
+    Sfr_obs.Prof.stop t_step pt
   end
 
 (* The first blocked stream head and the state it waits on — mirrors

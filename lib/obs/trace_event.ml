@@ -46,11 +46,12 @@ let push e =
 
 let tid () = (Domain.self () :> int)
 
-let emit ?(cat = "sfr") ?(args = []) name ph ~ts ~dur =
-  push { name; cat; ph; ts; dur; pid = 1; tid = tid (); args }
+let emit ?(cat = "sfr") ?(args = []) ?tid:tid_arg name ph ~ts ~dur =
+  let tid = match tid_arg with Some v -> v | None -> tid () in
+  push { name; cat; ph; ts; dur; pid = 1; tid; args }
 
-let instant ?cat name =
-  if Atomic.get on then emit ?cat name Instant ~ts:(now_us ()) ~dur:0.0
+let instant ?cat ?args name =
+  if Atomic.get on then emit ?cat ?args name Instant ~ts:(now_us ()) ~dur:0.0
 
 let counter ?(cat = "telemetry") name v =
   if Atomic.get on then
@@ -58,14 +59,18 @@ let counter ?(cat = "telemetry") name v =
       ~args:[ ("value", float_of_int v) ]
       name Counter ~ts:(now_us ()) ~dur:0.0
 
-let with_span ?cat name f =
+let with_span ?cat ?args name f =
   if not (Atomic.get on) then f ()
   else begin
     let t0 = now_us () in
     Fun.protect
-      ~finally:(fun () -> emit ?cat name Complete ~ts:t0 ~dur:(now_us () -. t0))
+      ~finally:(fun () ->
+        emit ?cat ?args name Complete ~ts:t0 ~dur:(now_us () -. t0))
       f
   end
+
+let complete ?cat ?args ?tid name ~ts_us ~dur_us =
+  if Atomic.get on then emit ?cat ?args ?tid name Complete ~ts:ts_us ~dur:dur_us
 
 let events () =
   Mutex.lock mu;

@@ -22,7 +22,9 @@ type event = {
   pid : int;
   tid : int;  (** domain ID *)
   args : (string * float) list;
-      (** [Counter] series values; empty for spans and instants *)
+      (** [Counter] series values, or the correlation args a span /
+          instant was emitted with (e.g. the serve layer's [session] /
+          [chunk] / [verdict] keys); empty otherwise *)
 }
 
 val start : unit -> unit
@@ -35,11 +37,32 @@ val stop : unit -> unit
 
 val is_on : unit -> bool
 
-val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
+val with_span : ?cat:string -> ?args:(string * float) list -> string -> (unit -> 'a) -> 'a
 (** [with_span name f] runs [f] and, while collection is on, records a
-    complete event covering it (also on exception). *)
+    complete event covering it (also on exception). [args] attaches
+    numeric correlation values (rendered into the event's [args]
+    object). *)
 
-val instant : ?cat:string -> string -> unit
+val instant : ?cat:string -> ?args:(string * float) list -> string -> unit
+
+val now_us : unit -> float
+(** Microseconds since {!start} (meaningful only while collection is
+    on — gate on {!is_on} before using it as a span timestamp). *)
+
+val complete :
+  ?cat:string ->
+  ?args:(string * float) list ->
+  ?tid:int ->
+  string ->
+  ts_us:float ->
+  dur_us:float ->
+  unit
+(** Emit one [Complete] span with an explicit start and duration (both
+    from {!now_us}), for regions whose args are only known at the end —
+    e.g. an ingest span carrying the chunk size it drained. [tid]
+    overrides the recording domain id, letting logical tracks (one per
+    serve session) coexist with the per-domain execution tracks. No-op
+    while collection is off. *)
 
 val counter : ?cat:string -> string -> int -> unit
 (** [counter name v] records a Chrome [ph:"C"] counter event (a sampled

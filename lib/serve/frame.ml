@@ -67,6 +67,12 @@ type frame =
       message : string;
     }
   | Reject of { code : reply_code; message : string }
+  | Stats_req
+  | Health_req
+  | Metrics_req
+  | Stats_reply of string
+  | Health_reply of { healthy : bool; detail : string }
+  | Metrics_reply of string
 
 let pp fmt = function
   | Hello { version } -> Format.fprintf fmt "HELLO(v%d)" version
@@ -82,16 +88,35 @@ let pp fmt = function
   | Reject { code; message } ->
       Format.fprintf fmt "REJECT(%s%s)" (reply_code_name code)
         (if message = "" then "" else " " ^ message)
+  | Stats_req -> Format.fprintf fmt "STATS"
+  | Health_req -> Format.fprintf fmt "HEALTH"
+  | Metrics_req -> Format.fprintf fmt "METRICS"
+  | Stats_reply s -> Format.fprintf fmt "STATS_REPLY(%d bytes)" (String.length s)
+  | Health_reply { healthy; detail } ->
+      Format.fprintf fmt "HEALTH_REPLY(%s%s)"
+        (if healthy then "healthy" else "degraded")
+        (if detail = "" then "" else " " ^ detail)
+  | Metrics_reply s ->
+      Format.fprintf fmt "METRICS_REPLY(%d bytes)" (String.length s)
 
 (* -- wire tags ---------------------------------------------------------- *)
 
+(* Tag numbering is append-only: the admin-plane requests extend the
+   client range past CLOSE, their replies extend the server range past
+   REJECT. Never renumber. *)
 let tag_hello = 0x01
 let tag_data = 0x02
 let tag_close = 0x03
+let tag_stats_req = 0x04
+let tag_health_req = 0x05
+let tag_metrics_req = 0x06
 let tag_welcome = 0x10
 let tag_credit = 0x11
 let tag_verdict = 0x12
 let tag_reject = 0x13
+let tag_stats_reply = 0x14
+let tag_health_reply = 0x15
+let tag_metrics_reply = 0x16
 
 (* -- encoding ----------------------------------------------------------- *)
 
@@ -128,6 +153,19 @@ let encode buf frame =
         Log_format.write_varint payload (reply_code_to_int code);
         write_string payload message;
         tag_reject
+    | Stats_req -> tag_stats_req
+    | Health_req -> tag_health_req
+    | Metrics_req -> tag_metrics_req
+    | Stats_reply s ->
+        Buffer.add_string payload s;
+        tag_stats_reply
+    | Health_reply { healthy; detail } ->
+        Log_format.write_varint payload (if healthy then 1 else 0);
+        write_string payload detail;
+        tag_health_reply
+    | Metrics_reply s ->
+        Buffer.add_string payload s;
+        tag_metrics_reply
   in
   Buffer.add_char buf (Char.chr tag);
   let body = Buffer.to_bytes payload in
@@ -263,6 +301,18 @@ let decode_payload tag body =
         match string_ p with
         | Error e -> Error e
         | Ok (message, p) -> exact p (Reject { code; message }))
+  else if tag = tag_stats_req then exact 0 Stats_req
+  else if tag = tag_health_req then exact 0 Health_req
+  else if tag = tag_metrics_req then exact 0 Metrics_req
+  else if tag = tag_stats_reply then Ok (Stats_reply (Bytes.to_string body))
+  else if tag = tag_health_reply then
+    match varint 0 with
+    | Error e -> Error e
+    | Ok (h, p) -> (
+        match string_ p with
+        | Error e -> Error e
+        | Ok (detail, p) -> exact p (Health_reply { healthy = h <> 0; detail }))
+  else if tag = tag_metrics_reply then Ok (Metrics_reply (Bytes.to_string body))
   else Error (Bad_tag tag)
 
 let decoder_next d =

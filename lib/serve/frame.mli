@@ -12,10 +12,17 @@
     carry. Client-to-server tags: [0x01 HELLO] (protocol version),
     [0x02 DATA] (a slice of the session's .sflog byte stream, cut
     anywhere — frame boundaries need not align with log chunks),
-    [0x03 CLOSE] (clean end of stream). Server-to-client: [0x10
-    WELCOME] (session id + initial credit), [0x11 CREDIT] (more bytes
-    granted), [0x12 VERDICT] (terminal per-session result), [0x13
-    REJECT] (terminal refusal before or instead of a verdict).
+    [0x03 CLOSE] (clean end of stream), and the admin-plane requests
+    [0x04 STATS] / [0x05 HEALTH] / [0x06 METRICS] (empty payloads,
+    valid before or during a stream — a connection that only ever
+    sends admin requests is an admin session and produces no
+    outcome). Server-to-client: [0x10 WELCOME] (session id + initial
+    credit), [0x11 CREDIT] (more bytes granted), [0x12 VERDICT]
+    (terminal per-session result), [0x13 REJECT] (terminal refusal
+    before or instead of a verdict), [0x14 STATS_REPLY] (a JSON
+    document: server + per-session state), [0x15 HEALTH_REPLY]
+    (healthy bit + detail string), [0x16 METRICS_REPLY] (Prometheus
+    text exposition). Tag numbering is append-only — never renumber.
 
     Every terminal reply carries a {!reply_code} from the table
     mirrored in the README: clients branch on the code, not the
@@ -59,6 +66,12 @@ type frame =
       message : string;
     }
   | Reject of { code : reply_code; message : string }
+  | Stats_req  (** admin: ask for the live session table / server state *)
+  | Health_req  (** admin: one-bit liveness + a detail line *)
+  | Metrics_req  (** admin: ask for a Prometheus scrape *)
+  | Stats_reply of string  (** JSON document (see {!Server.stats_json}) *)
+  | Health_reply of { healthy : bool; detail : string }
+  | Metrics_reply of string  (** Prometheus text exposition *)
 
 val pp : Format.formatter -> frame -> unit
 

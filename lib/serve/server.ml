@@ -1,5 +1,6 @@
 module Metrics = Sfr_obs.Metrics
 module Flight = Sfr_obs.Flight
+module Telemetry = Sfr_obs.Telemetry
 
 let m_opened = Metrics.counter "serve.sessions.opened"
 let m_finished = Metrics.counter "serve.sessions.finished"
@@ -196,7 +197,21 @@ let () =
               | Some s -> Flight.note ~arg:(Session.id s) "serve.crash.session"
               | None -> ())
             t.conns)
-        servers)
+        servers;
+      if servers <> [] then begin
+        (* recent operational history: telemetry marks (what phases the
+           daemon went through) and the audit tail (which sessions were
+           in flight and why they ended) *)
+        let marks =
+          List.concat_map (fun (s : Telemetry.sample) -> s.marks)
+            (Telemetry.samples ())
+        in
+        if marks <> [] then
+          prerr_string
+            (Printf.sprintf "serve: telemetry marks: %s\n"
+               (String.concat ", " marks));
+        prerr_string (Audit.tail_to_text ())
+      end)
 
 let default_clock () =
   let t0 = Sfr_obs.Prof.now_ns () in
@@ -241,6 +256,10 @@ type post = Nothing | Do_shed of conn | Set_credit of conn list * bool
 
 let record_outcome t (s : Session.t) =
   match Session.outcome s with
+  | None when Session.admin_only s ->
+      (* an admin session finishes without an outcome by design — it
+         never streamed and must not count toward served sessions *)
+      ()
   | None ->
       Flight.crash_dump ~reason:"serve: finished session without outcome";
       raise (Fatal "finished session without outcome")
@@ -275,12 +294,18 @@ let settle t conn (eff : Session.effect_) =
           then begin
             t.is_parked <- true;
             Metrics.incr m_park_transitions;
+            Audit.emit
+              (Audit.Park
+                 { queued = t.global_queued; budget = t.cfg.global_budget });
             Set_credit (t.conns, false)
           end
           else if t.is_parked && t.global_queued <= t.cfg.global_budget / 2
           then begin
             t.is_parked <- false;
             Metrics.incr m_park_transitions;
+            Audit.emit
+              (Audit.Thaw
+                 { queued = t.global_queued; budget = t.cfg.global_budget });
             Set_credit (t.conns, true)
           end
           else Nothing
@@ -333,6 +358,8 @@ let rec apply_post t post =
                 in
                 Metrics.incr m_shed_sessions;
                 Metrics.add m_shed_bytes queued;
+                Audit.emit
+                  (Audit.Shed { session = Session.id s; evicted = queued });
                 send_frames conn eff.Session.send;
                 Some eff
             | _ -> None)
@@ -394,6 +421,7 @@ let connect t ~send =
         (sid, t.is_parked))
   in
   Metrics.incr m_opened;
+  Audit.emit (Audit.Session_open { session = sid });
   let s = Session.create ~id:sid ~now_ms:now t.cfg.session in
   if parked_now then Session.set_grant_credit s false;
   let conn =
@@ -404,6 +432,86 @@ let connect t ~send =
 
 let session_id conn =
   with_lock conn.cmu (fun () -> Option.map Session.id conn.session)
+
+(* -- the admin plane ----------------------------------------------------- *)
+
+(* Session fields are read under smu only (not each conn's cmu), the
+   same single-torn-read tolerance as [dump_sessions]: the admin plane
+   must never contend with, or deadlock against, the data plane. *)
+let stats_json t =
+  let now = t.now_ms () in
+  let b = Buffer.create 512 in
+  with_lock t.smu (fun () ->
+      Printf.bprintf b
+        "{\"server\":{\"policy\":%S,\"parked\":%b,\"budget_bytes\":%d,\"queued_bytes\":%d,\"headroom_bytes\":%d,\"finished_sessions\":%d,\"audit_records\":%d},\"sessions\":["
+        (overload_to_string t.cfg.overload)
+        t.is_parked t.cfg.global_budget t.global_queued
+        (max 0 (t.cfg.global_budget - t.global_queued))
+        (List.length t.outcomes_rev)
+        (Audit.record_count ());
+      let first = ref true in
+      List.iter
+        (fun c ->
+          match c.session with
+          | None -> ()
+          | Some s ->
+              if not !first then Buffer.add_char b ',';
+              first := false;
+              Printf.bprintf b
+                "{\"session\":%d,\"phase\":%S,\"queued_bytes\":%d,\"credit\":%d,\"age_ms\":%d,\"idle_ms\":%d,\"busy\":%b,\"gone\":%b}"
+                (Session.id s) (Session.phase_name s)
+                (Session.queued_bytes s) (Session.credit s)
+                (now - Session.started_ms s)
+                (now - Session.last_activity_ms s)
+                c.busy c.gone)
+        t.conns);
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let health t =
+  with_lock t.smu (fun () ->
+      let healthy =
+        (not t.is_parked) && t.global_queued <= t.cfg.global_budget
+      in
+      let detail =
+        Printf.sprintf "policy=%s queued=%dB budget=%dB sessions=%d parked=%b"
+          (overload_to_string t.cfg.overload)
+          t.global_queued t.cfg.global_budget (List.length t.conns) t.is_parked
+      in
+      (healthy, detail))
+
+let prometheus t =
+  let active, queued, headroom, parked_now =
+    with_lock t.smu (fun () ->
+        ( List.length
+            (List.filter
+               (fun c ->
+                 match c.session with
+                 | Some s -> not (Session.finished s)
+                 | None -> false)
+               t.conns),
+          t.global_queued,
+          max 0 (t.cfg.global_budget - t.global_queued),
+          t.is_parked ))
+  in
+  Telemetry.render_prometheus
+    ~gauges:
+      [
+        ("serve.sessions.active", active);
+        ("serve.budget.bytes", t.cfg.global_budget);
+        ("serve.queued.bytes.now", queued);
+        ("serve.budget.headroom.bytes", headroom);
+        ("serve.parked", if parked_now then 1 else 0);
+      ]
+    ()
+
+let admin_reply t (req : Session.admin_request) =
+  match req with
+  | Session.Admin_stats -> Frame.Stats_reply (stats_json t)
+  | Session.Admin_health ->
+      let healthy, detail = health t in
+      Frame.Health_reply { healthy; detail }
+  | Session.Admin_metrics -> Frame.Metrics_reply (prometheus t)
 
 let on_bytes t conn bytes ~pos ~len =
   let now = t.now_ms () in
@@ -418,6 +526,7 @@ let on_bytes t conn bytes ~pos ~len =
               && over_budget t
             then begin
               Metrics.incr m_block_rejects;
+              Audit.emit (Audit.Block { session = Session.id s });
               let eff =
                 Session.finish_overload s
                   ~message:
@@ -439,6 +548,14 @@ let on_bytes t conn bytes ~pos ~len =
   | None -> ()
   | Some eff ->
       apply_post t (settle t conn eff);
+      (* Admin replies are built outside conn.cmu (stats take the server
+         lock; cmu -> smu is the allowed order but holding cmu across
+         the whole table walk would stall this connection's data plane)
+         and sent under it. *)
+      if eff.Session.admin <> [] then begin
+        let frames = List.map (admin_reply t) eff.Session.admin in
+        with_lock conn.cmu (fun () -> send_frames conn frames)
+      end;
       if not t.cfg.defer_ingest then pump t conn
 
 let on_disconnect t conn =

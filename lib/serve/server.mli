@@ -93,6 +93,30 @@ val active_sessions : t -> int
 val queued_bytes : t -> int
 val parked : t -> bool
 
+(** {1 Admin plane}
+
+    The payloads behind the [STATS] / [HEALTH] / [METRICS] request
+    frames, also callable directly (tests, a future HTTP shim). Session
+    fields are read under the server lock only — same single-torn-read
+    tolerance as {!dump_sessions}; the admin plane never contends with
+    a connection's data plane. *)
+
+val stats_json : t -> string
+(** One JSON document: a ["server"] object (overload policy, parked
+    bit, budget / queued / headroom bytes, finished-session and
+    audit-record counts) and a ["sessions"] array (id, phase, queued
+    bytes, credit, age and idle milliseconds, busy / gone bits). *)
+
+val health : t -> bool * string
+(** [(healthy, detail)] — healthy iff not parked and the global queue
+    is within budget. [detail] is a one-line human summary either way. *)
+
+val prometheus : t -> string
+(** {!Sfr_obs.Telemetry.render_prometheus} plus live server gauges
+    ([serve.sessions.active], [serve.budget.bytes],
+    [serve.queued.bytes.now], [serve.budget.headroom.bytes],
+    [serve.parked]). *)
+
 val dump_sessions : t -> string
 (** The per-session summary the crash hook prints: one line per live
     session (id, phase, queued bytes, credit, activity) plus global

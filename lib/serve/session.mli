@@ -53,17 +53,36 @@ val queued_bytes : t -> int
 val last_activity_ms : t -> int
 val started_ms : t -> int
 
+val credit : t -> int
+(** Bytes the client may still send (admin-plane session table). *)
+
+val phase_name : t -> string
+(** ["admin"], ["hello"], ["streaming"] or ["finished"] — for the
+    admin-plane session table. *)
+
+val admin_only : t -> bool
+(** True for a connection whose first request was an admin frame: it
+    produces no outcome, holds no budget, and must not count against
+    the served-session limit. Cleared if a [HELLO] later arrives. *)
+
+(** An admin-plane request the {e server} must answer from live state
+    (the reply needs the whole session table, which the session cannot
+    see). *)
+type admin_request = Admin_stats | Admin_health | Admin_metrics
+
 (** What the caller must do after a call: send these frames (in order)
     and settle the global byte budget — [accepted] fresh DATA bytes
     entered this session's queue, [released] bytes left it (ingested,
     or dropped by a terminal transition). [finished] is the
     session-termination edge: record the outcome, schedule no more
-    work. *)
+    work. [admin] lists requests to answer from server state, in
+    arrival order, after the [send] frames. *)
 type effect_ = {
   send : Frame.frame list;
   accepted : int;
   released : int;
   finished : bool;
+  admin : admin_request list;
 }
 
 val on_bytes : t -> now_ms:int -> Bytes.t -> pos:int -> len:int -> effect_
@@ -96,7 +115,8 @@ val on_disconnect : t -> effect_
 (** Transport gone without [CLOSE]: drain what was queued, close the
     stream as abrupt, latch the best-effort prefix outcome. [send] is
     what {e would} be replied (loopback transports can still deliver
-    it). *)
+    it). An {!admin_only} session instead finishes quietly — no
+    outcome, no verdict frame. *)
 
 val finish_overload : t -> message:string -> effect_
 (** Shed under the global byte budget: terminal [ERR_OVERLOAD]
