@@ -443,7 +443,16 @@ let profile_cols () =
     (fun (e : Detectors.entry) -> (e.Detectors.name, e.Detectors.make))
     (Detectors.all ())
 
-let profile ~scale ~repeats ~out =
+(* The OM A/B rows: the two OM-based detectors pinned to the DePa
+   backend, keyed "+depa" so the registry-named list rows keep their
+   historical perfdiff series. *)
+let depa_cols =
+  [
+    ("sf-order+depa", fun () -> Sf_order.make ~om:`Depa ());
+    ("f-order+depa", fun () -> F_order.make ~om:`Depa ());
+  ]
+
+let profile ~om_backends ~scale ~repeats ~out =
   Format.printf
     "Profile: per-configuration metric snapshots (full detection) -> %s@." out;
   (* latency histograms (prof.*.ns) only fill while profiling is on; the
@@ -460,6 +469,10 @@ let profile ~scale ~repeats ~out =
         ("queries", Tablefmt.Right);
         ("metrics", Tablefmt.Right);
       ]
+  in
+  let cols =
+    (if List.mem `List om_backends then profile_cols () else [])
+    @ if List.mem `Depa om_backends then depa_cols else []
   in
   let entries = ref [] in
   List.iter
@@ -481,7 +494,7 @@ let profile ~scale ~repeats ~out =
               Tablefmt.cell_int_compact m.Runner.queries;
               string_of_int (List.length m.Runner.metrics);
             ])
-        (profile_cols ());
+        cols;
       Tablefmt.add_separator t)
     Registry.all;
   if not prof_was_on then Sfr_obs.Prof.disable ();
@@ -506,11 +519,11 @@ let profile ~scale ~repeats ~out =
    runs on the work-stealing executor — the numbers that move when the
    synchronization hot paths change: stripe-lock contention, CAS retries
    under the lock-free history, cp-container growth. *)
-let scaling ~scale ~repeats ~domains ~out =
+let scaling ~om_backends ~scale ~repeats ~domains ~out =
   Format.printf
     "Domain scaling: measured wall-clock per domain count (work-stealing \
      executor, %d hardware core(s) available), full SF-Order detection \
-     plus reach-only, with contention counters -> %s@."
+     plus reach-only, per OM backend, with contention counters -> %s@."
     (Domain.recommended_domain_count ())
     out;
   let t =
@@ -523,6 +536,8 @@ let scaling ~scale ~repeats ~domains ~out =
         ("speedup", Tablefmt.Right);
         ("lock cont.", Tablefmt.Right);
         ("cas retry", Tablefmt.Right);
+        ("om relabels", Tablefmt.Right);
+        ("depa spills", Tablefmt.Right);
         ("table words", Tablefmt.Right);
       ]
   in
@@ -560,13 +575,23 @@ let scaling ~scale ~repeats ~domains ~out =
                   Printf.sprintf "%.2fx" speedup;
                   Tablefmt.cell_int_compact (metric m "history.lock.contended");
                   Tablefmt.cell_int_compact (metric m "history.cas.retry");
+                  Tablefmt.cell_int_compact (metric m "om.relabels");
+                  Tablefmt.cell_int_compact (metric m "om.depa.heap_spills");
                   Tablefmt.cell_int_compact (metric m "reach.table.alloc_words");
                 ])
             domains)
-        [
-          ("reach", Runner.Reach (fun () -> Sf_order.make ()));
-          ("full", Runner.Full (fun () -> Sf_order.make ()));
-        ];
+        (List.concat_map
+           (fun b ->
+             (* list-backend keys keep their historical spelling so the
+                committed baseline's perfdiff series are unbroken *)
+             let tag =
+               match b with `List -> "" | `Depa -> "+depa"
+             in
+             [
+               ("reach" ^ tag, Runner.Reach (fun () -> Sf_order.make ~om:b ()));
+               ("full" ^ tag, Runner.Full (fun () -> Sf_order.make ~om:b ()));
+             ])
+           om_backends);
       Tablefmt.add_separator t)
     Registry.all;
   let result =

@@ -1,0 +1,255 @@
+(* DePa-style order maintenance (Westrick/Wang/Acar, arXiv 2204.14168):
+   immutable fork-path labels instead of relabeled list positions.
+
+   A label is a dyadic rational split into an integer part and a bit path
+   (the fork path): value = ipart + 0.path·1 in binary, where the
+   trailing 1 is the path's sentinel. The padded stream [path·1·0^ω] is
+   stored left-aligned in 62-bit chunks: the first chunk packs into one
+   immediate word ([w0]); longer paths spill the continuation chunks to a
+   heap array ([ext], empty in the common case). Left-alignment makes
+   plain integer comparison of chunks the lexicographic (= numeric)
+   comparison of streams, so [compare_items] is ipart, then [w0], then a
+   chunk walk of the spill arrays.
+
+   Insertion picks a fresh label strictly between the anchor and its
+   successor:
+   - after the tail: bump the integer part — O(1) bits, so serial append
+     chains (Sp_order [step], English-order spawn runs) never grow paths;
+   - between integer parts >= 2 apart: the midpoint integer, empty path;
+   - otherwise: extend the smaller label's bit path by the shortest
+     suffix that stays below the successor (at most the anchor's path
+     length + 2 bits) — path length tracks the nesting depth of the
+     insertion pattern, the fork depth of DePa's analysis.
+
+   Why there is no relabel window: labels are immutable once assigned, so
+   the relative order of two items can never be observed mid-change.
+   Queries read labels with no lock, no seqlock version, and no retry
+   loop; the per-list mutex serializes mutations only, matching the list
+   backend's discipline. The cost moves from relabel storms to path
+   length (om.depa.path_bits) and spill allocation (om.depa.heap_spills),
+   which the bench A/B surfaces next to om.relabels. *)
+
+module Metrics = Sfr_obs.Metrics
+module Chaos = Sfr_chaos.Chaos
+
+(* The DePa analogues of the list backend's relabel counters: the high
+   water of significant path bits per label, and the inserts whose label
+   overflowed the packed word into a heap path. *)
+let m_path_bits = Metrics.counter ~kind:`Max "om.depa.path_bits"
+let m_heap_spills = Metrics.counter "om.depa.heap_spills"
+
+let chunk_bits = 62
+let top_bit = 1 lsl (chunk_bits - 1)
+
+type item = {
+  ipart : int;  (* integer part of the label *)
+  w0 : int;  (* first 62 stream bits, left-aligned, in [0, 2^62) *)
+  ext : int array;  (* spilled continuation chunks; [||] in the common case *)
+  mutable next : item;  (* circular list threading; guarded by t.lock *)
+}
+
+type t = {
+  base : item;
+  mutable nitems : int;
+  mutable ext_words : int;  (* live spill words incl. array headers *)
+  lock : Mutex.t;
+}
+
+let create () =
+  let rec base = { ipart = 0; w0 = top_bit; ext = [||]; next = base } in
+  ({ base; nitems = 1; ext_words = 0; lock = Mutex.create () }, base)
+
+(* -- bit-stream helpers ------------------------------------------------ *)
+
+(* chunk c of the padded stream; 0 past the label's support *)
+let[@inline] chunk x c =
+  if c = 0 then x.w0
+  else if c - 1 < Array.length x.ext then x.ext.(c - 1)
+  else 0
+
+let[@inline] get_bit x k =
+  (chunk x (k / chunk_bits) lsr (chunk_bits - 1 - (k mod chunk_bits))) land 1
+
+let trailing_zeros w =
+  let rec go w acc = if w land 1 = 1 then acc else go (w lsr 1) (acc + 1) in
+  go w 0
+
+(* position of the sentinel (last 1 bit) of x's stream; every label's
+   stream is nonzero and spill arrays keep their last chunk nonzero *)
+let last_one x =
+  let nx = Array.length x.ext in
+  if nx > 0 then
+    ((nx * chunk_bits) + chunk_bits - 1) - trailing_zeros x.ext.(nx - 1)
+  else chunk_bits - 1 - trailing_zeros x.w0
+
+(* a bit buffer under construction: chunks indexed from 0 *)
+let set_bit buf k =
+  let c = k / chunk_bits and o = k mod chunk_bits in
+  buf.(c) <- buf.(c) lor (1 lsl (chunk_bits - 1 - o))
+
+(* first bit position where the streams of a and b differ; chunk-wise so
+   deep-nesting chains cost O(path/62) per insert, not O(path) *)
+let divergence a b =
+  let rec go c =
+    let wa = chunk a c and wb = chunk b c in
+    if wa = wb then go (c + 1)
+    else begin
+      let x = wa lxor wb in
+      let rec msb o =
+        if (x lsr (chunk_bits - 1 - o)) land 1 = 1 then o else msb (o + 1)
+      in
+      (c * chunk_bits) + msb 0
+    end
+  in
+  go 0
+
+(* a's stream bits strictly before position j, then a sentinel 1 at j —
+   requires a's bit j to be 0, which makes the result > a. Chunk-wise
+   copy, then mask off a's bits at and past j. Returns (buffer, bits). *)
+let extend a j =
+  let jc = j / chunk_bits in
+  let buf = Array.make (jc + 1) 0 in
+  for c = 0 to jc do
+    buf.(c) <- chunk a c
+  done;
+  let oj = j mod chunk_bits in
+  buf.(jc) <- buf.(jc) land lnot ((1 lsl (chunk_bits - 1 - oj)) - 1);
+  set_bit buf j;
+  (buf, j + 1)
+
+(* a's path extended by one 1 bit past its sentinel: strictly above a,
+   still below 1.0 — used when the successor's integer part is exactly
+   one higher *)
+let frac_above a = extend a (last_one a + 1)
+
+(* Shortest-suffix dyadic strictly between adjacent fracs a < b (equal
+   integer parts). At the first divergent bit d, a has 0 and b has 1:
+   - if b's stream has another 1 past d, terminating the result right
+     there ([prefix·1]) already sits strictly below b;
+   - otherwise b = prefix·1·0^ω exactly, so keep a's 0 at d, copy a's
+     following 1-run, and terminate at a's first 0 after it (the result
+     then beats a at that position and loses to b back at d).
+   Either way the result is at most max(|a|, d) + 2 bits. *)
+let frac_between a b =
+  let d = divergence a b in
+  if last_one b > d then extend a d
+  else
+    let rec first_zero k = if get_bit a k = 0 then k else first_zero (k + 1) in
+    extend a (first_zero (d + 1))
+
+(* -- insertion --------------------------------------------------------- *)
+
+let mk t ~ipart (buf, nbits) next =
+  let nwords = (nbits + chunk_bits - 1) / chunk_bits in
+  let ext = if nwords <= 1 then [||] else Array.sub buf 1 (nwords - 1) in
+  if Array.length ext > 0 then begin
+    Metrics.incr m_heap_spills;
+    t.ext_words <- t.ext_words + Array.length ext + 1;
+    (* the label-extension window — the DePa analogue of the list
+       backend's Relabel chaos site (perturb-only: t.lock is held) *)
+    Chaos.point Chaos.Label_extend
+  end;
+  Metrics.add m_path_bits nbits;
+  { ipart; w0 = buf.(0); ext; next }
+
+let insert_after t x =
+  Mutex.lock t.lock;
+  let y = x.next in
+  let fresh =
+    if y == t.base then begin
+      (* x is the tail: O(1)-bit append via the integer part *)
+      Metrics.add m_path_bits 1;
+      { ipart = x.ipart + 1; w0 = top_bit; ext = [||]; next = y }
+    end
+    else if y.ipart - x.ipart >= 2 then begin
+      Metrics.add m_path_bits 1;
+      {
+        ipart = x.ipart + ((y.ipart - x.ipart) / 2);
+        w0 = top_bit;
+        ext = [||];
+        next = y;
+      }
+    end
+    else if y.ipart > x.ipart then mk t ~ipart:x.ipart (frac_above x) y
+    else mk t ~ipart:x.ipart (frac_between x y) y
+  in
+  x.next <- fresh;
+  t.nitems <- t.nitems + 1;
+  Mutex.unlock t.lock;
+  fresh
+
+(* -- queries ----------------------------------------------------------- *)
+
+(* Labels are immutable: no seqlock, no retry, no fence beyond the plain
+   loads — this is the relabel-window elimination the backend exists for. *)
+let compare_items _t x y =
+  if x == y then 0
+  else if x.ipart <> y.ipart then Int.compare x.ipart y.ipart
+  else if x.w0 <> y.w0 then Int.compare x.w0 y.w0
+  else begin
+    let nx = Array.length x.ext and ny = Array.length y.ext in
+    let n = if nx > ny then nx else ny in
+    let rec go i =
+      if i = n then 0
+      else
+        let a = if i < nx then x.ext.(i) else 0
+        and b = if i < ny then y.ext.(i) else 0 in
+        if a <> b then Int.compare a b else go (i + 1)
+    in
+    go 0
+  end
+
+let precedes t x y = compare_items t x y < 0
+let size t = t.nitems
+
+(* Backend-honest accounting: item records (header + 4 fields) plus the
+   live spill arrays plus the list header. *)
+let words t = (5 * t.nitems) + t.ext_words + 6
+
+(* -- test hooks -------------------------------------------------------- *)
+
+let to_list t =
+  let rec walk (x : item) acc =
+    let acc = x :: acc in
+    if x.next == t.base then List.rev acc else walk x.next acc
+  in
+  walk t.base []
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let items = to_list t in
+  if List.length items <> t.nitems then
+    fail "nitems mismatch: %d vs %d" (List.length items) t.nitems;
+  let spill = ref 0 in
+  List.iter
+    (fun x ->
+      (* path labels well-formed: chunks in range, stream nonzero, spill
+         arrays canonical (last chunk carries a bit of the path) *)
+      if x.ipart < 0 then fail "negative ipart %d" x.ipart;
+      if x.w0 < 0 || x.w0 lsr chunk_bits <> 0 then
+        fail "w0 out of range: %d" x.w0;
+      Array.iter
+        (fun w ->
+          if w < 0 || w lsr chunk_bits <> 0 then fail "ext chunk out of range: %d" w)
+        x.ext;
+      let n = Array.length x.ext in
+      if n = 0 then begin
+        if x.w0 = 0 then fail "empty path stream (no sentinel)"
+      end
+      else begin
+        if x.ext.(n - 1) = 0 then fail "spill array not canonical (zero tail)";
+        spill := !spill + n + 1
+      end)
+    items;
+  if !spill <> t.ext_words then
+    fail "ext_words mismatch: %d live vs %d accounted" !spill t.ext_words;
+  let rec check_pairs = function
+    | a :: (b :: _ as rest) ->
+        if compare_items t a b >= 0 then
+          fail "items not ascending: (%d,%d,+%d words) then (%d,%d,+%d words)"
+            a.ipart a.w0 (Array.length a.ext) b.ipart b.w0
+            (Array.length b.ext);
+        check_pairs rest
+    | [ _ ] | [] -> ()
+  in
+  check_pairs items

@@ -1,0 +1,59 @@
+(** DePa-style order maintenance: immutable fork-path labels (Westrick,
+    Wang, Acar — "DePa: Simple, Provably Efficient, and Practical Order
+    Maintenance for Task Parallelism", arXiv 2204.14168).
+
+    Same operations as {!Om} (both satisfy {!Om_intf.S}); the difference
+    is the labeling scheme. Each item carries a dyadic-rational label —
+    an integer part plus a bit path packed into a 62-bit word, spilling
+    to a heap array when the path outgrows the word. Labels are
+    {e immutable once assigned}: there is no relabel phase, hence no
+    global relabel window and no seqlock — {!precedes} and
+    {!compare_items} are plain lock-free label comparisons with no retry
+    loop. Inserting after the list tail or into an integer-part gap is
+    O(1) bits; nested insertions between adjacent labels grow the bit
+    path by at most the anchor's path length + 2 bits, so path length
+    tracks the nesting depth of the insertion pattern (the fork depth of
+    the WSP-Order spawn tree).
+
+    Metrics (mirrors of the list backend's relabel counters):
+    - [om.depa.path_bits] — high-water significant bits of any label
+      ([`Max] counter);
+    - [om.depa.heap_spills] — inserts whose label overflowed the packed
+      word into a heap path; each spill passes the
+      {!Sfr_chaos.Chaos.Label_extend} perturbation point. *)
+
+type t
+(** An ordered list. Mutations are serialized by an internal per-list
+    mutex; queries never take it. *)
+
+type item
+(** An element: an immutable fork-path label. Items are never removed. *)
+
+val create : unit -> t * item
+(** A fresh list containing a single base item. *)
+
+val insert_after : t -> item -> item
+(** [insert_after t x] inserts a new item immediately after [x]. *)
+
+val precedes : t -> item -> item -> bool
+(** [precedes t x y] is true iff [x] is strictly before [y]. Lock-free:
+    a plain label comparison, safe against concurrent inserts. *)
+
+val compare_items : t -> item -> item -> int
+(** Total order consistent with {!precedes}. Lock-free. *)
+
+val size : t -> int
+(** Number of items. *)
+
+val words : t -> int
+(** Approximate live machine words: item records plus spilled heap
+    paths — the backend-honest analogue of the list backend's group
+    array accounting. *)
+
+val check_invariants : t -> unit
+(** Raises [Failure] if the circular threading, the strict label
+    ascent, or path-label well-formedness (nonzero streams, canonical
+    spill arrays, in-range chunks) is violated. Test hook. *)
+
+val to_list : t -> item list
+(** All items in list order. Test hook. *)

@@ -1,0 +1,53 @@
+(** The order-maintenance signature, extracted from {!Om} so WSP-Order's
+    English/Hebrew lists ({!Sfr_reach.Sp_order}) are backend-agnostic.
+
+    Two implementations satisfy it:
+    - {!Om} — the two-level Dietz–Sleator / Bender list (mutable labels,
+      density-threshold relabeling, seqlock-validated queries);
+    - {!Depa} — DePa-style immutable fork-path labels (arXiv 2204.14168):
+      no relabel phase ever, so label reads need no seqlock.
+
+    Contract every backend must honor:
+    - [create] returns the list and its permanent minimum (insertion is
+      only ever {e after} an existing item; items are never removed);
+    - [insert_after] is serialized per list (internal mutex) and safe
+      against concurrent queries;
+    - [precedes]/[compare_items] are thread-safe against concurrent
+      inserts and never reorder already-inserted items — that is what
+      makes {!Sfr_reach.Sp_order.precedes} linearizable;
+    - [words] reports the backend's honest live-word footprint (group
+      arrays for the list, heap path spills for DePa) for Figure-5 style
+      accounting. *)
+
+module type S = sig
+  type t
+  (** An ordered list. *)
+
+  type item
+  (** An element of an ordered list. Items are never removed. *)
+
+  val create : unit -> t * item
+  (** A fresh list containing a single base item. *)
+
+  val insert_after : t -> item -> item
+  (** [insert_after t x] inserts a new item immediately after [x]. *)
+
+  val precedes : t -> item -> item -> bool
+  (** [precedes t x y] is true iff [x] is strictly before [y]. The two
+      items must belong to [t]. Thread-safe against concurrent inserts. *)
+
+  val compare_items : t -> item -> item -> int
+
+  val size : t -> int
+  (** Number of items. *)
+
+  val words : t -> int
+  (** Approximate live machine words, for Figure-5 style accounting. *)
+
+  val check_invariants : t -> unit
+  (** Raises [Failure] if internal labeling invariants are violated.
+      Test hook; walks the whole list. *)
+
+  val to_list : t -> item list
+  (** All items in list order. Test hook. *)
+end
